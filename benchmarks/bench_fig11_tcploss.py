@@ -1,0 +1,21 @@
+"""Bench F11 — Figure 11: TCP loss decomposition.
+
+Paper: across completed-handshake flows, "the wireless component of TCP
+loss is dominant."
+"""
+
+from repro.experiments.fig11_tcploss import run_fig11
+
+
+def test_fig11_tcp_loss_decomposition(benchmark, building_run, capsys):
+    result = benchmark.pedantic(
+        run_fig11, args=(building_run,), rounds=2, iterations=1
+    )
+    with capsys.disabled():
+        print("\n=== Figure 11: TCP loss decomposition ===")
+        print(result.format_table())
+    assert result.n_flows >= 20
+    wireless, wired, _ = result.aggregate_rates()
+    assert wireless + wired > 0, "the trace must contain TCP losses"
+    # The paper's headline claim.
+    assert result.wireless_dominates()

@@ -1,0 +1,28 @@
+"""Bench P1 — the Section 4 efficiency requirement.
+
+"Trace merging should execute faster than real-time and scale well as a
+function of the number of radios" — checked against both our compressed
+trace (which is ~4x denser in events/second than the paper's day) and the
+paper's own average event rate (2.7 B events / 24 h ~ 31 k events/s).
+"""
+
+from repro.experiments.perf import run_merge_performance
+
+#: The paper's day-long trace: 2.7 B events over 86,400 seconds.
+PAPER_EVENTS_PER_SECOND = 2_700_000_000 / 86_400
+
+
+def test_merge_faster_than_paper_realtime(benchmark, building_run, capsys):
+    perf = benchmark.pedantic(
+        run_merge_performance, args=(building_run,), rounds=1, iterations=1
+    )
+    paper_factor = perf.records_per_second / PAPER_EVENTS_PER_SECOND
+    with capsys.disabled():
+        print("\n=== Merge performance ===")
+        print(perf.format_table())
+        print(
+            f"vs paper's event rate ({PAPER_EVENTS_PER_SECOND:,.0f}/s): "
+            f"{paper_factor:.2f}x real time"
+        )
+    # Single pass, and faster than real time at the paper's event rate.
+    assert paper_factor > 1.0

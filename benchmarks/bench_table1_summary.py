@@ -1,0 +1,17 @@
+"""Bench T1 — Table 1: trace summary characteristics."""
+
+from repro.experiments.table1_summary import run_table1
+
+
+def test_table1_summary(benchmark, building_run, capsys):
+    summary = benchmark.pedantic(
+        run_table1, args=(building_run,), rounds=2, iterations=1
+    )
+    with capsys.disabled():
+        print("\n=== Table 1: trace summary ===")
+        print(summary.format_table())
+    # Paper shape: a large error-event share (47%) and multiple
+    # observations of each transmission.
+    assert 0.2 <= summary.error_event_fraction <= 0.7
+    assert summary.events_per_jframe > 2.0
+    assert summary.unique_aps > 0 and summary.unique_clients > 0

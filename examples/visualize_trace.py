@@ -1,0 +1,33 @@
+"""Figure 2 for your own trace: the synchronized-timeline visualization.
+
+Renders the busiest few milliseconds of a small scenario as the paper's
+Figure 2 view — radios on the y-axis, universal time on the x-axis, each
+reception drawn where synchronization placed it.
+
+Run with::
+
+    python examples/visualize_trace.py
+"""
+
+from repro.core import JigsawPipeline
+from repro.core.analysis.visualize import busiest_window, render_timeline
+from repro.sim import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    artifacts = run_scenario(ScenarioConfig.small(seed=5))
+    report = JigsawPipeline().run(
+        artifacts.radio_traces, clock_groups=artifacts.clock_groups()
+    )
+    start, end = busiest_window(report.jframes, width_us=4_000)
+    print("the busiest 4 ms of the trace, as Jigsaw synchronized it:\n")
+    print(render_timeline(report.jframes, start, end, columns=96))
+    print(
+        "\neach column where many radios share a marker is one physical\n"
+        "transmission heard across the building — the simultaneity that\n"
+        "trace merging exploits (paper Figure 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

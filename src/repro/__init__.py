@@ -1,0 +1,21 @@
+"""repro — a full reproduction of Jigsaw (SIGCOMM 2006).
+
+Jigsaw merges traces from 150+ passive 802.11 radio monitors into a single
+microsecond-synchronized global trace and reconstructs link- and
+transport-layer conversations from it.  This package implements both the
+Jigsaw algorithms (:mod:`repro.core`) and the substrates they need — an
+802.11b/g MAC/PHY simulator, a building-scale scenario generator, imperfect
+monitor clocks, and a jigdump-style trace format — so that the paper's
+entire pipeline and evaluation can run on a laptop.
+
+Quickstart::
+
+    from repro.sim import ScenarioConfig, run_scenario
+    from repro.core import JigsawPipeline
+
+    artifacts = run_scenario(ScenarioConfig.small(seed=7))
+    report = JigsawPipeline().run(artifacts.radio_traces)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"

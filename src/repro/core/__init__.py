@@ -1,0 +1,32 @@
+"""The Jigsaw core: synchronization, unification, reconstruction, analyses."""
+
+from .link.attempt import AttemptAssembler, TransmissionAttempt
+from .link.exchange import ExchangeAssembler, FrameExchange
+from .pipeline import JigsawPipeline, JigsawReport
+from .sync.bootstrap import BootstrapResult, bootstrap_synchronization
+from .sync.skew import ClockTrack
+from .transport.flows import FlowKey, TcpFlow, collect_flows
+from .transport.inference import LossCause, TransportInference
+from .unify.jframe import JFrame, JFrameKind
+from .unify.unifier import UnificationResult, Unifier
+
+__all__ = [
+    "AttemptAssembler",
+    "TransmissionAttempt",
+    "ExchangeAssembler",
+    "FrameExchange",
+    "JigsawPipeline",
+    "JigsawReport",
+    "BootstrapResult",
+    "bootstrap_synchronization",
+    "ClockTrack",
+    "FlowKey",
+    "TcpFlow",
+    "collect_flows",
+    "LossCause",
+    "TransportInference",
+    "JFrame",
+    "JFrameKind",
+    "UnificationResult",
+    "Unifier",
+]

@@ -1,0 +1,52 @@
+"""Analyses exploiting the global viewpoint (Sections 6 and 7)."""
+
+from .activity import (
+    ActivityBin,
+    ActivityTimeline,
+    activity_timeline,
+    broadcast_airtime_share,
+)
+from .coverage import (
+    CoverageResult,
+    OracleCoverage,
+    PodReductionResult,
+    StationCoverage,
+    oracle_coverage,
+    pod_reduction_coverage,
+    wired_coverage,
+)
+from .dispersion import DispersionCdf, dispersion_cdf
+from .interference import (
+    InterferenceResult,
+    PairInterference,
+    estimate_interference,
+)
+from .protection import ProtectionResult, analyze_protection
+from .summary import TraceSummary, identify_stations, summarize
+from .tcploss import TcpLossResult, analyze_tcp_loss
+
+__all__ = [
+    "ActivityBin",
+    "ActivityTimeline",
+    "activity_timeline",
+    "broadcast_airtime_share",
+    "CoverageResult",
+    "OracleCoverage",
+    "PodReductionResult",
+    "StationCoverage",
+    "oracle_coverage",
+    "pod_reduction_coverage",
+    "wired_coverage",
+    "DispersionCdf",
+    "dispersion_cdf",
+    "InterferenceResult",
+    "PairInterference",
+    "estimate_interference",
+    "ProtectionResult",
+    "analyze_protection",
+    "TraceSummary",
+    "identify_stations",
+    "summarize",
+    "TcpLossResult",
+    "analyze_tcp_loss",
+]

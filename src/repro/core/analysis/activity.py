@@ -1,0 +1,172 @@
+"""Network activity time series — Figure 8.
+
+Figure 8(a): active clients and active APs per time bin — "an active
+client [is] one that is communicating with an AP or is actively
+establishing an association.  An active AP is one communicating with an
+active client (an AP only sending out beacons, for example, would not be
+active)."
+
+Figure 8(b): traffic volume per bin, split into the paper's four
+categories: Data, Management (management + control), Beacon, and ARP —
+the latter two separated "because of their high prevalence".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...dot11.address import MacAddress
+from ...dot11.frame import FrameType
+from ...net.packets import ArpPacket, try_parse_packet
+from ..pipeline import JigsawReport
+from .summary import identify_stations
+
+
+@dataclass
+class ActivityBin:
+    """One time slot of the Figure 8 series."""
+
+    start_us: int
+    active_clients: Set[MacAddress] = field(default_factory=set)
+    active_aps: Set[MacAddress] = field(default_factory=set)
+    data_bytes: int = 0
+    management_bytes: int = 0
+    beacon_bytes: int = 0
+    arp_bytes: int = 0
+    data_frames: int = 0
+    management_frames: int = 0
+    beacon_frames: int = 0
+    arp_frames: int = 0
+
+    @property
+    def n_active_clients(self) -> int:
+        return len(self.active_clients)
+
+    @property
+    def n_active_aps(self) -> int:
+        return len(self.active_aps)
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.data_bytes
+            + self.management_bytes
+            + self.beacon_bytes
+            + self.arp_bytes
+        )
+
+
+@dataclass
+class ActivityTimeline:
+    bin_us: int
+    bins: List[ActivityBin]
+
+    def peak_clients(self) -> int:
+        return max((b.n_active_clients for b in self.bins), default=0)
+
+    def series(self, attribute: str) -> List[float]:
+        return [getattr(b, attribute) for b in self.bins]
+
+    def format_table(self, max_rows: int = 30) -> str:
+        lines = [
+            f"{'bin':>5} {'clients':>8} {'aps':>5} {'data B':>10} "
+            f"{'mgmt B':>10} {'beacon B':>10} {'arp B':>8}"
+        ]
+        step = max(1, len(self.bins) // max_rows)
+        for i in range(0, len(self.bins), step):
+            b = self.bins[i]
+            lines.append(
+                f"{i:>5} {b.n_active_clients:>8} {b.n_active_aps:>5} "
+                f"{b.data_bytes:>10,} {b.management_bytes:>10,} "
+                f"{b.beacon_bytes:>10,} {b.arp_bytes:>8,}"
+            )
+        return "\n".join(lines)
+
+
+def _is_arp(frame) -> bool:
+    if frame.ftype is not FrameType.DATA or not frame.body:
+        return False
+    return isinstance(try_parse_packet(frame.body), ArpPacket)
+
+
+def activity_timeline(
+    report: JigsawReport,
+    duration_us: int,
+    bin_us: int = 60_000_000,
+) -> ActivityTimeline:
+    """Bin the unified trace into the Figure 8 time series.
+
+    ``bin_us`` defaults to the paper's one-minute granularity; compressed
+    scenarios pass something smaller.
+    """
+    clients, aps = identify_stations(report)
+    n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
+    bins = [ActivityBin(start_us=i * bin_us) for i in range(n_bins)]
+
+    for jframe in report.jframes:
+        frame = jframe.frame
+        if frame is None:
+            continue
+        index = min(max(jframe.timestamp_us, 0) // bin_us, n_bins - 1)
+        slot = bins[index]
+        size = jframe.frame_len
+
+        if frame.ftype is FrameType.BEACON:
+            slot.beacon_bytes += size
+            slot.beacon_frames += 1
+        elif _is_arp(frame):
+            slot.arp_bytes += size
+            slot.arp_frames += 1
+        elif frame.ftype is FrameType.DATA:
+            slot.data_bytes += size
+            slot.data_frames += 1
+        else:
+            slot.management_bytes += size
+            slot.management_frames += 1
+
+        # Activity: client talking to an AP, or mid-association.
+        sender = frame.addr2
+        receiver = frame.addr1
+        if frame.ftype in (
+            FrameType.DATA,
+            FrameType.ASSOC_REQUEST,
+            FrameType.AUTH,
+            FrameType.PROBE_REQUEST,
+        ):
+            if sender in clients and not frame.is_broadcast or (
+                sender in clients
+                and frame.ftype in (FrameType.PROBE_REQUEST,)
+            ):
+                slot.active_clients.add(sender)
+        if frame.ftype is FrameType.DATA:
+            if sender in aps and receiver in clients:
+                slot.active_aps.add(sender)
+                slot.active_clients.add(receiver)
+            elif sender in clients and receiver in aps:
+                slot.active_aps.add(receiver)
+    return ActivityTimeline(bin_us=bin_us, bins=bins)
+
+
+def broadcast_airtime_share(
+    report: JigsawReport, duration_us: int
+) -> Dict[int, float]:
+    """Per-channel fraction of airtime consumed by broadcast frames.
+
+    Reproduces the Section 7.1 claim that "broadcast traffic (primarily ARP
+    and Beacons) regularly consumes 10% of the channel as seen by any given
+    monitor" — broadcasts ride the lowest rate, so their airtime share far
+    exceeds their byte share.
+    """
+    by_channel: Dict[int, int] = {}
+    for jframe in report.jframes:
+        frame = jframe.frame
+        if frame is None or not frame.is_broadcast:
+            continue
+        by_channel[jframe.channel] = (
+            by_channel.get(jframe.channel, 0) + jframe.duration_us
+        )
+    return {
+        channel: airtime / duration_us
+        for channel, airtime in sorted(by_channel.items())
+    }

@@ -1,0 +1,246 @@
+"""Co-channel interference estimation — Section 7.2, Figure 9.
+
+The estimator is exactly the paper's: for each sender/receiver pair
+``(s, r)``, split transmissions into those with and without a simultaneous
+transmission elsewhere in the trace, and attribute the *excess* loss under
+simultaneity to interference:
+
+    P_i = P[I|S] = [(nlx/nx) - (nl0/n0)] / (1 - nl0/n0)
+
+The interference loss rate is then ``X = P_i * (nx / n)``, truncated at
+zero when the estimate goes negative (the paper truncates 11% of pairs).
+Only pairs exchanging at least ``min_packets`` transmissions are scored
+(the paper uses 100 over a day; compressed scenarios pass less).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...dot11.address import MacAddress
+from ..link.attempt import TransmissionAttempt
+from ..pipeline import JigsawReport
+from ..unify.jframe import JFrame
+from .summary import identify_stations
+
+
+@dataclass
+class PairInterference:
+    """Interference estimate for one (sender, receiver) pair."""
+
+    sender: MacAddress
+    receiver: MacAddress
+    n: int           # all transmissions s -> r
+    n0: int          # without simultaneous transmission
+    nl0: int         # ... of which lost
+    nx: int          # with at least one simultaneous transmission
+    nlx: int         # ... of which lost
+    sender_is_ap: bool = False
+
+    @property
+    def background_loss_rate(self) -> float:
+        return self.nl0 / self.n0 if self.n0 else 0.0
+
+    @property
+    def p_interference(self) -> Optional[float]:
+        """P_i = P[I|S]; None when no simultaneous transmissions occurred."""
+        if self.nx == 0 or self.n0 == 0:
+            return None
+        background = self.background_loss_rate
+        if background >= 1.0:
+            return None
+        return ((self.nlx / self.nx) - background) / (1.0 - background)
+
+    @property
+    def interference_loss_rate(self) -> float:
+        """X: probability a transmission from s to r is lost to interference."""
+        p = self.p_interference
+        if p is None:
+            return 0.0
+        return max(0.0, p) * (self.nx / self.n)
+
+
+@dataclass
+class InterferenceResult:
+    pairs: List[PairInterference]
+    truncated_pairs: int = 0    # negative P_i truncated to zero
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def fraction_pairs_interfered(self) -> float:
+        """Fraction of scored pairs with positive interference estimate."""
+        if not self.pairs:
+            return 0.0
+        positive = sum(
+            1
+            for p in self.pairs
+            if p.p_interference is not None and p.p_interference > 0
+        )
+        return positive / len(self.pairs)
+
+    def sender_split(self) -> Tuple[float, float]:
+        """(AP share, client share) among interfered pairs (paper: 56/44)."""
+        interfered = [
+            p
+            for p in self.pairs
+            if p.p_interference is not None and p.p_interference > 0
+        ]
+        if not interfered:
+            return 0.0, 0.0
+        aps = sum(1 for p in interfered if p.sender_is_ap)
+        return aps / len(interfered), 1 - aps / len(interfered)
+
+    def loss_rate_cdf(self) -> List[float]:
+        """Sorted X values across pairs — the Figure 9 curve."""
+        return sorted(p.interference_loss_rate for p in self.pairs)
+
+    def fraction_pairs_with_rate_at_least(self, threshold: float) -> float:
+        if not self.pairs:
+            return 0.0
+        return (
+            sum(
+                1
+                for p in self.pairs
+                if p.interference_loss_rate >= threshold
+            )
+            / len(self.pairs)
+        )
+
+    def average_background_loss(self) -> float:
+        total_n0 = sum(p.n0 for p in self.pairs)
+        total_nl0 = sum(p.nl0 for p in self.pairs)
+        return total_nl0 / total_n0 if total_n0 else 0.0
+
+    def format_table(self) -> str:
+        ap_share, client_share = self.sender_split()
+        xs = self.loss_rate_cdf()
+        median = xs[len(xs) // 2] if xs else 0.0
+        return "\n".join(
+            [
+                f"scored (s,r) pairs:        {self.n_pairs}",
+                f"pairs with interference:   "
+                f"{self.fraction_pairs_interfered():.2f} (paper: 0.88)",
+                f"sender split AP/client:    {ap_share:.2f}/{client_share:.2f} "
+                f"(paper: 0.56/0.44)",
+                f"avg background loss rate:  "
+                f"{self.average_background_loss():.3f} (paper: 0.12)",
+                f"median interference rate:  {median:.3f} "
+                f"(paper: ~0.025 at the median)",
+                f"pairs with X >= 0.1:       "
+                f"{self.fraction_pairs_with_rate_at_least(0.1):.2f} (paper: 0.10)",
+                f"pairs with X >= 0.2:       "
+                f"{self.fraction_pairs_with_rate_at_least(0.2):.2f} (paper: 0.05)",
+                f"negative P_i truncated:    {self.truncated_pairs}",
+            ]
+        )
+
+
+class _ChannelTimeline:
+    """Sorted transmission intervals per channel for overlap queries."""
+
+    def __init__(self, jframes: Sequence[JFrame]) -> None:
+        self._starts: Dict[int, List[int]] = defaultdict(list)
+        self._intervals: Dict[int, List[Tuple[int, int, Optional[MacAddress]]]] = (
+            defaultdict(list)
+        )
+        for jframe in jframes:
+            if jframe.duration_us <= 0:
+                continue
+            self._intervals[jframe.channel].append(
+                (jframe.start_us, jframe.end_us, jframe.transmitter)
+            )
+        for channel, intervals in self._intervals.items():
+            intervals.sort(key=lambda interval: (interval[0], interval[1]))
+            self._starts[channel] = [iv[0] for iv in intervals]
+
+    def has_simultaneous(
+        self,
+        channel: int,
+        start_us: int,
+        end_us: int,
+        exclude: Tuple[Optional[MacAddress], ...],
+    ) -> bool:
+        """Any overlapping transmission from a third party on ``channel``?"""
+        intervals = self._intervals.get(channel)
+        if not intervals:
+            return False
+        starts = self._starts[channel]
+        # Overlap requires other.start < end; scan a margin backwards for
+        # long frames that started earlier.
+        hi = bisect_left(starts, end_us)
+        lo = max(0, bisect_left(starts, start_us - 20_000))
+        for index in range(lo, hi):
+            other_start, other_end, transmitter = intervals[index]
+            if other_end <= start_us or other_start >= end_us:
+                continue
+            if transmitter is not None and transmitter in exclude:
+                continue
+            return True
+        return False
+
+
+def estimate_interference(
+    report: JigsawReport,
+    min_packets: int = 100,
+) -> InterferenceResult:
+    """Run the Section 7.2 estimator over a pipeline report."""
+    _, aps = identify_stations(report)
+    timeline = _ChannelTimeline(report.jframes)
+    counters: Dict[Tuple[MacAddress, MacAddress], List[int]] = defaultdict(
+        lambda: [0, 0, 0, 0, 0]  # n, n0, nl0, nx, nlx
+    )
+    for attempt in report.attempts:
+        if (
+            not attempt.has_data
+            or attempt.is_broadcast
+            or attempt.transmitter is None
+            or attempt.receiver is None
+        ):
+            continue
+        data = attempt.data
+        lost = not attempt.acked
+        simultaneous = timeline.has_simultaneous(
+            data.channel,
+            data.start_us,
+            data.end_us,
+            exclude=(attempt.transmitter, attempt.receiver),
+        )
+        c = counters[(attempt.transmitter, attempt.receiver)]
+        c[0] += 1
+        if simultaneous:
+            c[3] += 1
+            if lost:
+                c[4] += 1
+        else:
+            c[1] += 1
+            if lost:
+                c[2] += 1
+
+    pairs: List[PairInterference] = []
+    truncated = 0
+    for (sender, receiver), (n, n0, nl0, nx, nlx) in counters.items():
+        if n < min_packets:
+            continue
+        pair = PairInterference(
+            sender=sender,
+            receiver=receiver,
+            n=n,
+            n0=n0,
+            nl0=nl0,
+            nx=nx,
+            nlx=nlx,
+            sender_is_ap=sender in aps,
+        )
+        p = pair.p_interference
+        if p is not None and p < 0:
+            truncated += 1
+        pairs.append(pair)
+    pairs.sort(key=lambda p: (str(p.sender), str(p.receiver)))
+    return InterferenceResult(pairs=pairs, truncated_pairs=truncated)

@@ -1,0 +1,196 @@
+"""802.11g protection-mode analysis — Section 7.3, Figure 10.
+
+Finds *overprotective* APs: "APs using protection mode that unnecessarily
+impacts 802.11g clients".  The method is the paper's:
+
+* "We can identify the set of APs using protection mode based upon
+  CTS-to-self client transmissions to those APs" (and the APs' own
+  CTS-to-self frames);
+* "Using observed probe responses, we infer whether any 802.11b clients
+  are in range of an AP using protection mode";
+* an AP is overprotective in a time slot when it protects although no
+  802.11b client has been in range within a *practical* timeout (one
+  minute, versus the production policy's hour).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...dot11.address import MacAddress
+from ...dot11.frame import FrameType, frame_marks_cck_only
+from ..pipeline import JigsawReport
+from .summary import identify_stations
+
+
+@dataclass
+class ProtectionBin:
+    """One time slot of the Figure 10 series."""
+
+    start_us: int
+    protecting_aps: Set[MacAddress] = field(default_factory=set)
+    overprotective_aps: Set[MacAddress] = field(default_factory=set)
+    active_g_clients: Set[MacAddress] = field(default_factory=set)
+    g_clients_on_overprotective: Set[MacAddress] = field(default_factory=set)
+
+    @property
+    def n_overprotective(self) -> int:
+        return len(self.overprotective_aps)
+
+    @property
+    def n_active_g_clients(self) -> int:
+        return len(self.active_g_clients)
+
+    @property
+    def n_affected_g_clients(self) -> int:
+        return len(self.g_clients_on_overprotective)
+
+
+@dataclass
+class ProtectionResult:
+    bins: List[ProtectionBin]
+    bin_us: int
+    b_clients: Set[MacAddress]
+    g_clients: Set[MacAddress]
+
+    def peak_affected_fraction(self) -> float:
+        """Largest per-bin share of 11g clients on overprotective APs
+        (the paper sees 25-50% during busy periods)."""
+        best = 0.0
+        for b in self.bins:
+            if b.n_active_g_clients:
+                best = max(
+                    best, b.n_affected_g_clients / b.n_active_g_clients
+                )
+        return best
+
+    def total_overprotective_aps(self) -> int:
+        aps: Set[MacAddress] = set()
+        for b in self.bins:
+            aps.update(b.overprotective_aps)
+        return len(aps)
+
+    def format_table(self, max_rows: int = 24) -> str:
+        lines = [
+            f"{'bin':>4} {'protecting':>11} {'overprot.':>10} "
+            f"{'g-active':>9} {'g-affected':>11}"
+        ]
+        step = max(1, len(self.bins) // max_rows)
+        for i in range(0, len(self.bins), step):
+            b = self.bins[i]
+            lines.append(
+                f"{i:>4} {len(b.protecting_aps):>11} {b.n_overprotective:>10} "
+                f"{b.n_active_g_clients:>9} {b.n_affected_g_clients:>11}"
+            )
+        lines.append(
+            f"peak affected-fraction: {self.peak_affected_fraction():.2f} "
+            f"(paper: 0.25-0.50 busy periods)"
+        )
+        return "\n".join(lines)
+
+
+def analyze_protection(
+    report: JigsawReport,
+    duration_us: int,
+    bin_us: int = 60_000_000,
+    practical_timeout_us: int = 60_000_000,
+) -> ProtectionResult:
+    """Figure 10 from a pipeline report.
+
+    ``practical_timeout_us`` is the paper's "more practical timeout of one
+    minute"; compressed scenarios scale it with their bin size.
+    """
+    clients, aps = identify_stations(report)
+
+    # Classify 802.11b clients by their advertised rate sets and observe
+    # client -> AP association plus per-event timelines in one pass.
+    b_clients: Set[MacAddress] = set()
+    association: Dict[MacAddress, MacAddress] = {}
+    cts_events: List[Tuple[int, MacAddress]] = []       # (t, protecting AP)
+    b_in_range: Dict[MacAddress, List[int]] = defaultdict(list)  # AP -> times
+    g_activity: List[Tuple[int, MacAddress]] = []       # (t, g client)
+
+    for jframe in report.jframes:
+        frame = jframe.frame
+        if frame is None:
+            continue
+        t = jframe.timestamp_us
+        sender = frame.addr2
+        if frame_marks_cck_only(frame) and sender is not None:
+            b_clients.add(sender)
+        if frame.ftype is FrameType.ASSOC_REQUEST and sender is not None:
+            association[sender] = frame.addr1
+        elif frame.ftype is FrameType.DATA and sender in clients and frame.to_ds:
+            association[sender] = frame.addr1
+
+    g_clients = {c for c in clients if c not in b_clients}
+
+    for jframe in report.jframes:
+        frame = jframe.frame
+        if frame is None:
+            continue
+        t = jframe.timestamp_us
+        sender = frame.addr2
+        if frame.ftype is FrameType.CTS:
+            # CTS-to-self: RA names the protected transmitter.
+            target = frame.addr1
+            if target in aps:
+                cts_events.append((t, target))
+            elif target in association:
+                cts_events.append((t, association[target]))
+        elif frame.ftype is FrameType.PROBE_RESPONSE and sender in aps:
+            if frame.addr1 in b_clients:
+                b_in_range[sender].append(t)
+        elif frame.ftype is FrameType.DATA and sender in g_clients:
+            g_activity.append((t, sender))
+        elif (
+            frame.ftype is FrameType.DATA
+            and sender in aps
+            and frame.addr1 in g_clients
+        ):
+            g_activity.append((t, frame.addr1))
+
+    for times in b_in_range.values():
+        times.sort()
+
+    n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
+    bins = [ProtectionBin(start_us=i * bin_us) for i in range(n_bins)]
+
+    def bin_of(t: int) -> ProtectionBin:
+        return bins[min(max(t, 0) // bin_us, n_bins - 1)]
+
+    for t, ap in cts_events:
+        slot = bin_of(t)
+        slot.protecting_aps.add(ap)
+        if not _b_client_recently_in_range(
+            b_in_range.get(ap, ()), t, practical_timeout_us
+        ):
+            slot.overprotective_aps.add(ap)
+
+    for t, client in g_activity:
+        slot = bin_of(t)
+        slot.active_g_clients.add(client)
+
+    for slot in bins:
+        for client in slot.active_g_clients:
+            ap = association.get(client)
+            if ap is not None and ap in slot.overprotective_aps:
+                slot.g_clients_on_overprotective.add(client)
+
+    return ProtectionResult(
+        bins=bins, bin_us=bin_us, b_clients=b_clients, g_clients=g_clients
+    )
+
+
+def _b_client_recently_in_range(
+    times: Sequence[int], t: int, timeout_us: int
+) -> bool:
+    """Was any 802.11b client in range of the AP within the timeout?"""
+    from bisect import bisect_right
+
+    index = bisect_right(times, t)
+    if index == 0:
+        return False
+    return t - times[index - 1] <= timeout_us

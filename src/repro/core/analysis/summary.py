@@ -1,0 +1,124 @@
+"""Trace summary — Table 1.
+
+"Table 1 presents the characteristics of the trace we use for our
+analyses" : duration, monitors, APs, clients, raw event counts, the error
+share, jframe counts and the events-per-jframe ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...dot11.address import MacAddress
+from ...dot11.frame import FrameType
+from ...jtrace.io import RadioTrace
+from ...jtrace.records import RecordKind
+from ..pipeline import JigsawReport
+
+
+@dataclass
+class TraceSummary:
+    """The Table 1 row set."""
+
+    duration_s: float
+    n_radios: int
+    total_events: int
+    error_events: int
+    jframes: int
+    events_per_jframe: float
+    unique_clients: int
+    unique_aps: int
+    transmission_attempts: int
+    frame_exchanges: int
+    tcp_flows: int
+    completed_handshakes: int
+
+    @property
+    def error_event_fraction(self) -> float:
+        if self.total_events == 0:
+            return 0.0
+        return self.error_events / self.total_events
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, value) pairs, Table 1 style."""
+        return [
+            ("Trace duration (s)", f"{self.duration_s:.1f}"),
+            ("Monitor radios", f"{self.n_radios}"),
+            ("Raw events", f"{self.total_events:,}"),
+            ("Error events (PHY/CRC)", f"{self.error_events:,} "
+             f"({100 * self.error_event_fraction:.1f}%)"),
+            ("Unified jframes", f"{self.jframes:,}"),
+            ("Events per jframe", f"{self.events_per_jframe:.2f}"),
+            ("Unique client MACs", f"{self.unique_clients}"),
+            ("Unique AP MACs", f"{self.unique_aps}"),
+            ("Transmission attempts", f"{self.transmission_attempts:,}"),
+            ("Frame exchanges", f"{self.frame_exchanges:,}"),
+            ("TCP flows", f"{self.tcp_flows:,}"),
+            ("Completed handshakes", f"{self.completed_handshakes:,}"),
+        ]
+
+    def format_table(self) -> str:
+        width = max(len(label) for label, _ in self.rows())
+        return "\n".join(
+            f"{label:<{width}}  {value}" for label, value in self.rows()
+        )
+
+
+def identify_stations(report: JigsawReport) -> Tuple[Set[MacAddress], Set[MacAddress]]:
+    """Split observed transmitters into (clients, aps) from behaviour.
+
+    APs reveal themselves by sending beacons/probe responses; clients by
+    sending probe/association requests or ToDS data.  This is how a passive
+    observer classifies stations — no configuration knowledge needed.
+    """
+    aps: Set[MacAddress] = set()
+    clients: Set[MacAddress] = set()
+    for jframe in report.jframes:
+        frame = jframe.frame
+        if frame is None or frame.addr2 is None:
+            continue
+        if frame.ftype in (FrameType.BEACON, FrameType.PROBE_RESPONSE,
+                           FrameType.ASSOC_RESPONSE):
+            aps.add(frame.addr2)
+        elif frame.ftype in (FrameType.PROBE_REQUEST, FrameType.ASSOC_REQUEST,
+                             FrameType.AUTH):
+            clients.add(frame.addr2)
+        elif frame.ftype is FrameType.DATA:
+            if frame.to_ds:
+                clients.add(frame.addr2)
+            elif frame.from_ds:
+                aps.add(frame.addr2)
+    clients -= aps
+    return clients, aps
+
+
+def summarize(
+    report: JigsawReport,
+    traces: Sequence[RadioTrace],
+    duration_us: int,
+) -> TraceSummary:
+    """Build the Table 1 summary from a pipeline report and its inputs."""
+    total_events = sum(len(trace) for trace in traces)
+    error_events = sum(
+        1
+        for trace in traces
+        for record in trace
+        if record.kind is not RecordKind.VALID
+    )
+    clients, aps = identify_stations(report)
+    stats = report.unification.stats
+    return TraceSummary(
+        duration_s=duration_us / 1e6,
+        n_radios=len(traces),
+        total_events=total_events,
+        error_events=error_events,
+        jframes=stats.jframes,
+        events_per_jframe=stats.events_per_jframe,
+        unique_clients=len(clients),
+        unique_aps=len(aps),
+        transmission_attempts=report.attempt_stats.attempts,
+        frame_exchanges=report.exchange_stats.exchanges,
+        tcp_flows=len(report.flows),
+        completed_handshakes=report.transport_stats.handshakes_completed,
+    )

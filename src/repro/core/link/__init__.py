@@ -1,0 +1,13 @@
+"""Link-layer reconstruction: attempts, exchanges, delivery inference."""
+
+from .attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
+from .exchange import ExchangeAssembler, ExchangeStats, FrameExchange
+
+__all__ = [
+    "AttemptAssembler",
+    "AttemptStats",
+    "TransmissionAttempt",
+    "ExchangeAssembler",
+    "ExchangeStats",
+    "FrameExchange",
+]

@@ -1,0 +1,251 @@
+"""Transmission attempts: CTS-to-self + DATA + ACK grouping (Section 5.1).
+
+"Jigsaw first identifies each transmission attempt from a sender ...  a
+CTS-to-self packet, a subsequent DATA frame and the trailing ACK response
+may all be part of the same attempt.  To group these together automatically
+we first use the MAC address ...  As well, we use the Duration field,
+carried in CTS and DATA frames, to deduce the future time in which an ACK,
+if sent, must have been received.  This timing analysis is especially
+critical when frames are missing from the trace since otherwise we might
+risk assigning an ACK for a missing DATA frame to an earlier observed DATA
+frame."
+
+The assembler is a single pass over valid jframes per channel.  Its output
+is a time-ordered list of :class:`TransmissionAttempt`, including *partial*
+attempts (ACK without DATA, CTS without DATA) that the exchange FSM later
+resolves or discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...dot11.address import MacAddress
+from ...dot11.constants import SIFS_US, SLOT_TIME_LONG_US
+from ...dot11.frame import FrameType
+from ..unify.jframe import JFrame
+
+#: Slack added to the Duration-field deadline when matching ACKs: allows
+#: for timestamp quantization and residual sync error.
+ACK_MATCH_SLACK_US = 3 * SLOT_TIME_LONG_US
+
+#: A CTS-to-self reservation is considered stale this long after the time
+#: window its Duration field reserved.
+CTS_PENDING_SLACK_US = 200
+
+
+@dataclass
+class TransmissionAttempt:
+    """One attempt: up to three jframes (protection CTS, DATA, ACK)."""
+
+    transmitter: Optional[MacAddress]
+    receiver: Optional[MacAddress]
+    data: Optional[JFrame] = None
+    cts: Optional[JFrame] = None
+    ack: Optional[JFrame] = None
+
+    @property
+    def start_us(self) -> int:
+        for jf in (self.cts, self.data, self.ack):
+            if jf is not None:
+                return jf.start_us
+        raise ValueError("empty attempt")
+
+    @property
+    def end_us(self) -> int:
+        latest = self.start_us
+        for jf in (self.cts, self.data, self.ack):
+            if jf is not None:
+                latest = max(latest, jf.end_us)
+        return latest
+
+    @property
+    def seq(self) -> Optional[int]:
+        if self.data is not None and self.data.frame is not None:
+            return self.data.frame.seq
+        return None
+
+    @property
+    def retry(self) -> bool:
+        return (
+            self.data is not None
+            and self.data.frame is not None
+            and self.data.frame.retry
+        )
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.data.rate_mbps if self.data is not None else 0.0
+
+    @property
+    def acked(self) -> bool:
+        return self.ack is not None
+
+    @property
+    def has_data(self) -> bool:
+        return self.data is not None
+
+    @property
+    def is_broadcast(self) -> bool:
+        return (
+            self.data is not None
+            and self.data.frame is not None
+            and self.data.frame.is_group_addressed
+        )
+
+    @property
+    def channel(self) -> int:
+        for jf in (self.data, self.cts, self.ack):
+            if jf is not None:
+                return jf.channel
+        raise ValueError("empty attempt")
+
+
+@dataclass
+class _PendingData:
+    """A DATA jframe awaiting its ACK (until the Duration deadline)."""
+
+    attempt: TransmissionAttempt
+    ack_deadline_us: int
+
+
+@dataclass
+class AttemptStats:
+    jframes_in: int = 0
+    attempts: int = 0
+    acks_orphaned: int = 0       # ACK matched no in-window DATA
+    cts_orphaned: int = 0        # protection CTS with no following DATA
+    acks_matched: int = 0
+
+
+class AttemptAssembler:
+    """Single-pass grouping of jframes into transmission attempts."""
+
+    def __init__(self) -> None:
+        self.stats = AttemptStats()
+
+    def assemble(self, jframes: Sequence[JFrame]) -> List[TransmissionAttempt]:
+        """Group a time-ordered jframe stream into attempts.
+
+        Only frame types that participate in data exchanges matter here;
+        management frames (beacons, probes, association) form single-frame
+        attempts of their own so higher layers can still see them.
+        """
+        attempts: List[TransmissionAttempt] = []
+        # Per-channel pending state.
+        pending_cts: Dict[int, Dict[MacAddress, JFrame]] = {}
+        pending_data: Dict[int, List[_PendingData]] = {}
+
+        for jframe in jframes:
+            if jframe.frame is None:
+                continue
+            self.stats.jframes_in += 1
+            channel = jframe.channel
+            cts_map = pending_cts.setdefault(channel, {})
+            data_list = pending_data.setdefault(channel, [])
+            self._expire(data_list, cts_map, jframe.timestamp_us)
+            frame = jframe.frame
+
+            if frame.ftype is FrameType.CTS:
+                # CTS-to-self: RA names the protected sender.  (A CTS
+                # answering an RTS looks identical; the sender match below
+                # disambiguates in practice.)
+                cts_map[frame.addr1] = jframe
+            elif frame.ftype is FrameType.ACK:
+                self._match_ack(jframe, data_list, attempts)
+            elif frame.ftype.carries_sequence:
+                attempt = TransmissionAttempt(
+                    transmitter=frame.addr2,
+                    receiver=frame.addr1,
+                    data=jframe,
+                )
+                # Attach a protection CTS from the same sender if its
+                # reservation window covers this DATA frame.
+                if frame.addr2 is not None and frame.addr2 in cts_map:
+                    cts = cts_map.pop(frame.addr2)
+                    # The CTS Duration field reserved the air through the
+                    # end of the protected exchange; the DATA frame must
+                    # start inside that reservation.
+                    if (
+                        jframe.start_us
+                        <= cts.end_us
+                        + cts.frame.duration_us
+                        + CTS_PENDING_SLACK_US
+                    ):
+                        attempt.cts = cts
+                    else:
+                        self.stats.cts_orphaned += 1
+                attempts.append(attempt)
+                self.stats.attempts += 1
+                if frame.expects_ack:
+                    deadline = (
+                        jframe.end_us
+                        + frame.duration_us
+                        + ACK_MATCH_SLACK_US
+                    )
+                    data_list.append(_PendingData(attempt, deadline))
+            # RTS and other control frames: ignored (the production network
+            # does not use RTS/CTS exchanges; CTS-to-self is handled above).
+
+        for data_list in pending_data.values():
+            data_list.clear()
+        self.stats.attempts = len(
+            [a for a in attempts if a.has_data]
+        ) + self.stats.acks_orphaned
+        return attempts
+
+    # --- helpers ---------------------------------------------------------
+
+    def _match_ack(
+        self,
+        ack: JFrame,
+        data_list: List[_PendingData],
+        attempts: List[TransmissionAttempt],
+    ) -> None:
+        """Assign an ACK to the pending DATA whose Duration window fits.
+
+        The ACK's RA is the *data transmitter*.  Timing is authoritative:
+        an ACK arriving after a DATA frame's deadline belongs to a missing
+        later DATA frame, not the observed earlier one.
+        """
+        target = ack.frame.addr1
+        best: Optional[_PendingData] = None
+        for pending in data_list:
+            attempt = pending.attempt
+            if attempt.transmitter != target or attempt.ack is not None:
+                continue
+            if ack.timestamp_us > pending.ack_deadline_us:
+                continue
+            if ack.timestamp_us <= attempt.data.end_us:
+                continue  # an ACK cannot end before its DATA frame did
+            if best is None or pending.ack_deadline_us < best.ack_deadline_us:
+                best = pending
+        if best is not None:
+            best.attempt.ack = ack
+            data_list.remove(best)
+            self.stats.acks_matched += 1
+        else:
+            # Evidence of a DATA frame the platform missed entirely.
+            attempts.append(
+                TransmissionAttempt(
+                    transmitter=target, receiver=None, ack=ack
+                )
+            )
+            self.stats.acks_orphaned += 1
+
+    @staticmethod
+    def _expire(
+        data_list: List[_PendingData],
+        cts_map: Dict[MacAddress, JFrame],
+        now_us: int,
+    ) -> None:
+        data_list[:] = [p for p in data_list if p.ack_deadline_us >= now_us]
+        stale = [
+            addr
+            for addr, cts in cts_map.items()
+            if now_us
+            > cts.end_us + cts.frame.duration_us + CTS_PENDING_SLACK_US
+        ]
+        for addr in stale:
+            del cts_map[addr]

@@ -1,0 +1,291 @@
+"""Frame exchanges: composing attempts, with inference for missing data.
+
+Section 5.1's right-hand FSM: "we then group transmission attempts into
+frame exchanges — complete sets of transmission attempts (including
+retransmissions) that end in a link-layer frame being successfully
+delivered or not."  Classification is driven by the change in the 12-bit
+sequence number since the last attempt from the same sender:
+
+* **R1** — broadcast/multicast: never retransmitted; attempt == exchange.
+* frames without sequence numbers (orphan ACKs) are queued "until more
+  data becomes available to resolve their position";
+* **R2** — delta 0: a retransmission; coalesce into the open exchange;
+* **R3** — delta 1: a new exchange begins; queued orphan attempts are
+  resolved heuristically (ACK timing, "acknowledgments are less likely to
+  be lost than data", "the coded rate of a frame never increases in
+  response to a loss", "almost all frame exchanges can complete within
+  500 ms");
+* **R4** — delta > 1: no inference; flush the queue, start fresh.
+
+Delivery is *tri-state*: ``True`` (ACK observed), ``False`` (link-layer
+failure inferred), ``None`` (ambiguous — "if we never see an ACK, it is
+ambiguous if the frame was lost or if we simply did not observe the ACK").
+Transport-layer inference (Section 5.2) later upgrades the ``None``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...dot11.address import MacAddress
+from ...dot11.constants import EXCHANGE_HORIZON_US, RETRY_LIMIT, SEQ_MODULO
+from ..unify.jframe import JFrame
+from .attempt import TransmissionAttempt
+
+
+@dataclass
+class FrameExchange:
+    """All attempts to deliver one link-layer frame."""
+
+    transmitter: Optional[MacAddress]
+    receiver: Optional[MacAddress]
+    attempts: List[TransmissionAttempt] = field(default_factory=list)
+    #: True: ACK observed.  False: inferred lost.  None: ambiguous.
+    delivered: Optional[bool] = None
+    #: Set when delivery was decided by transport-layer evidence.
+    delivery_inferred_from_transport: bool = False
+    #: Set when assembling this exchange required heuristic inference.
+    needed_inference: bool = False
+
+    @property
+    def seq(self) -> Optional[int]:
+        for attempt in self.attempts:
+            if attempt.seq is not None:
+                return attempt.seq
+        return None
+
+    @property
+    def start_us(self) -> int:
+        return self.attempts[0].start_us
+
+    @property
+    def end_us(self) -> int:
+        return self.attempts[-1].end_us
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def retransmissions(self) -> int:
+        return max(0, len([a for a in self.attempts if a.has_data]) - 1)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return any(a.is_broadcast for a in self.attempts)
+
+    @property
+    def data_jframe(self) -> Optional[JFrame]:
+        for attempt in self.attempts:
+            if attempt.data is not None:
+                return attempt.data
+        return None
+
+    @property
+    def final_rate_mbps(self) -> float:
+        for attempt in reversed(self.attempts):
+            if attempt.has_data:
+                return attempt.rate_mbps
+        return 0.0
+
+    @property
+    def channel(self) -> int:
+        return self.attempts[0].channel
+
+
+@dataclass
+class ExchangeStats:
+    attempts_in: int = 0
+    exchanges: int = 0
+    attempts_needing_inference: int = 0
+    exchanges_needing_inference: int = 0
+    orphans_resolved: int = 0
+    orphans_discarded: int = 0
+
+
+@dataclass
+class _SenderState:
+    last_seq: Optional[int] = None
+    open_exchange: Optional[FrameExchange] = None
+    orphan_queue: List[TransmissionAttempt] = field(default_factory=list)
+    last_time_us: int = 0
+
+
+class ExchangeAssembler:
+    """Per-transmitter FSM composing attempts into frame exchanges."""
+
+    def __init__(self, horizon_us: int = EXCHANGE_HORIZON_US) -> None:
+        self.horizon_us = horizon_us
+        self.stats = ExchangeStats()
+
+    def assemble(
+        self, attempts: Sequence[TransmissionAttempt]
+    ) -> List[FrameExchange]:
+        exchanges: List[FrameExchange] = []
+        senders: Dict[Optional[MacAddress], _SenderState] = {}
+
+        for attempt in attempts:
+            self.stats.attempts_in += 1
+            state = senders.setdefault(attempt.transmitter, _SenderState())
+
+            # Stale open exchange: frame exchanges complete within 500 ms.
+            if (
+                state.open_exchange is not None
+                and attempt.start_us - state.last_time_us > self.horizon_us
+            ):
+                self._close(state, exchanges, moved_on=False)
+            state.last_time_us = attempt.start_us
+
+            if attempt.is_broadcast:
+                # R1: broadcast — attempt and exchange are identical, and
+                # delivery has no link-layer meaning (no ACK expected).
+                self._close(state, exchanges, moved_on=True)
+                exchanges.append(
+                    FrameExchange(
+                        transmitter=attempt.transmitter,
+                        receiver=attempt.receiver,
+                        attempts=[attempt],
+                        delivered=True,
+                    )
+                )
+                continue
+
+            if attempt.seq is None:
+                # An orphan (ACK- or CTS-only) attempt: queue until data
+                # resolves its position.
+                state.orphan_queue.append(attempt)
+                continue
+
+            if state.last_seq is None or state.open_exchange is None:
+                self._open_new(state, attempt, exchanges)
+                continue
+
+            delta = (attempt.seq - state.last_seq) % SEQ_MODULO
+            if delta == 0:
+                # R2: retransmission of the open exchange's frame.
+                state.open_exchange.attempts.append(attempt)
+                if attempt.acked:
+                    state.open_exchange.delivered = True
+                if not attempt.retry:
+                    # Retransmission without the retry bit (the rare
+                    # non-compliant implementations footnote 5 mentions).
+                    state.open_exchange.needed_inference = True
+                    self.stats.attempts_needing_inference += 1
+            elif delta == 1:
+                # R3: a new exchange; first resolve queued orphans.
+                self._resolve_orphans(state, exchanges)
+                self._open_new(state, attempt, exchanges, moved_on=True)
+            else:
+                # R4: sequence gap — no inference; flush.
+                self.stats.orphans_discarded += len(state.orphan_queue)
+                state.orphan_queue.clear()
+                self._open_new(state, attempt, exchanges, moved_on=False)
+
+        for state in senders.values():
+            self._resolve_orphans(state, exchanges)
+            self._close(state, exchanges, moved_on=False)
+        exchanges.sort(key=lambda e: e.start_us)
+        self.stats.exchanges = len(exchanges)
+        return exchanges
+
+    # --- internals --------------------------------------------------------
+
+    def _open_new(
+        self,
+        state: _SenderState,
+        attempt: TransmissionAttempt,
+        exchanges: List[FrameExchange],
+        moved_on: bool = False,
+    ) -> None:
+        self._close(state, exchanges, moved_on=moved_on)
+        exchange = FrameExchange(
+            transmitter=attempt.transmitter,
+            receiver=attempt.receiver,
+            attempts=[attempt],
+            delivered=True if attempt.acked else None,
+        )
+        if attempt.retry:
+            # First observed attempt already carries the retry bit: we
+            # missed at least one earlier transmission of this exchange.
+            exchange.needed_inference = True
+            self.stats.attempts_needing_inference += 1
+        state.open_exchange = exchange
+        state.last_seq = attempt.seq
+
+    def _close(
+        self,
+        state: _SenderState,
+        exchanges: List[FrameExchange],
+        moved_on: bool = False,
+    ) -> None:
+        if state.open_exchange is None:
+            return
+        exchange = state.open_exchange
+        self._infer_delivery(exchange, moved_on)
+        if exchange.needed_inference:
+            self.stats.exchanges_needing_inference += 1
+        exchanges.append(exchange)
+        state.open_exchange = None
+
+    def _infer_delivery(self, exchange: FrameExchange, moved_on: bool) -> None:
+        """Deduce delivery from the sender's visible MAC behaviour.
+
+        "We must deduce the presence or absence of this missing data based
+        on the subsequent behavior of the sender and receiver" (Section
+        5.1).  With no ACK observed:
+
+        * the sender burned through the full retry limit — it *abandoned*
+          the frame, so the exchange failed;
+        * the sender advanced to the next sequence number after fewer
+          attempts — an 802.11 sender only stops retrying early because it
+          received the ACK, so the monitors simply missed it.
+        """
+        if exchange.delivered is not None or exchange.is_broadcast:
+            return
+        n_data = sum(1 for a in exchange.attempts if a.has_data)
+        if n_data >= RETRY_LIMIT:
+            exchange.delivered = False
+            exchange.needed_inference = True
+            self.stats.attempts_needing_inference += 1
+        elif moved_on and 1 <= n_data <= 2:
+            # Missing one ACK is plausible; missing several in a row is not
+            # ("acknowledgments are less likely to be lost than data").
+            # Mid-size retry runs stay ambiguous for the transport oracle.
+            exchange.delivered = True
+            exchange.needed_inference = True
+            self.stats.attempts_needing_inference += 1
+
+    def _resolve_orphans(
+        self, state: _SenderState, exchanges: List[FrameExchange]
+    ) -> None:
+        """Assign queued no-sequence attempts using timing heuristics.
+
+        An orphan ACK addressed to this sender that falls inside the open
+        exchange's plausible ACK window is evidence the (possibly missed)
+        data of that exchange was delivered — "acknowledgments are less
+        likely to be lost than data", so prefer believing the ACK over
+        assuming a spurious match.
+        """
+        if not state.orphan_queue:
+            return
+        open_exchange = state.open_exchange
+        for orphan in state.orphan_queue:
+            resolved = False
+            if (
+                open_exchange is not None
+                and orphan.ack is not None
+                and open_exchange.delivered is not True
+            ):
+                gap = orphan.start_us - open_exchange.end_us
+                if 0 <= gap <= self.horizon_us:
+                    # The missing-DATA ACK completes the open exchange.
+                    open_exchange.attempts.append(orphan)
+                    open_exchange.delivered = True
+                    open_exchange.needed_inference = True
+                    self.stats.attempts_needing_inference += 1
+                    self.stats.orphans_resolved += 1
+                    resolved = True
+            if not resolved:
+                self.stats.orphans_discarded += 1
+        state.orphan_queue.clear()

@@ -1,0 +1,132 @@
+"""The full Jigsaw pipeline: traces in, multi-layer reconstruction out.
+
+One call wires together everything Sections 4 and 5 describe::
+
+    pipeline = JigsawPipeline()
+    report = pipeline.run(radio_traces, clock_groups=groups)
+
+``report`` then feeds the Section 6/7 analyses (coverage, interference,
+protection mode, TCP loss) in :mod:`repro.core.analysis`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..jtrace.io import RadioTrace
+from .link.attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
+from .link.exchange import ExchangeAssembler, ExchangeStats, FrameExchange
+from .sync.bootstrap import (
+    BootstrapResult,
+    bootstrap_synchronization,
+)
+from .sync.skew import ClockTrack
+from .transport.flows import TcpFlow, collect_flows
+from .transport.inference import InferenceStats, TransportInference
+from .unify.jframe import JFrame
+from .unify.unifier import UnificationResult, Unifier
+
+
+@dataclass
+class JigsawReport:
+    """Everything the pipeline reconstructed, plus per-stage statistics."""
+
+    bootstrap: BootstrapResult
+    unification: UnificationResult
+    attempts: List[TransmissionAttempt]
+    attempt_stats: AttemptStats
+    exchanges: List[FrameExchange]
+    exchange_stats: ExchangeStats
+    flows: List[TcpFlow]
+    transport_stats: InferenceStats
+    elapsed_seconds: float
+
+    @property
+    def jframes(self) -> List[JFrame]:
+        return self.unification.jframes
+
+    @property
+    def tracks(self) -> Dict[int, ClockTrack]:
+        return self.unification.tracks
+
+    def completed_flows(self) -> List[TcpFlow]:
+        """Flows with a completed handshake (Section 7.4's population)."""
+        return [flow for flow in self.flows if flow.handshake_complete]
+
+    def summary(self) -> str:
+        """A Table 1-style textual digest."""
+        stats = self.unification.stats
+        lines = [
+            f"records in:            {stats.records_in:,}",
+            f"jframes:               {stats.jframes:,}",
+            f"events per jframe:     {stats.events_per_jframe:.2f}",
+            f"valid jframes:         {stats.valid_jframes:,}",
+            f"error jframes:         {stats.corrupt_jframes + stats.phy_error_jframes:,}",
+            f"transmission attempts: {self.attempt_stats.attempts:,}",
+            f"frame exchanges:       {self.exchange_stats.exchanges:,}",
+            f"tcp flows:             {len(self.flows):,}",
+            f"completed handshakes:  {self.transport_stats.handshakes_completed:,}",
+            f"pipeline time:         {self.elapsed_seconds:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+class JigsawPipeline:
+    """traces -> bootstrap -> unify -> link -> transport."""
+
+    def __init__(
+        self,
+        unifier: Optional[Unifier] = None,
+        bootstrap_window_us: int = 1_000_000,
+        auto_widen_bootstrap: bool = True,
+    ) -> None:
+        self.unifier = unifier or Unifier()
+        self.bootstrap_window_us = bootstrap_window_us
+        self.auto_widen_bootstrap = auto_widen_bootstrap
+
+    def run(
+        self,
+        traces: Sequence[RadioTrace],
+        clock_groups: Sequence[Sequence[int]] = (),
+        bootstrap: Optional[BootstrapResult] = None,
+    ) -> JigsawReport:
+        """Run the full reconstruction.
+
+        ``clock_groups`` is the infrastructure metadata (radios sharing a
+        capture clock) used for cross-channel bridging; pass a precomputed
+        ``bootstrap`` to skip that phase (ablations do).
+        """
+        started = time.perf_counter()
+        ordered = [trace.sorted_by_local_time() for trace in traces]
+        if bootstrap is None:
+            bootstrap = bootstrap_synchronization(
+                ordered,
+                clock_groups=clock_groups,
+                window_us=self.bootstrap_window_us,
+                auto_widen=self.auto_widen_bootstrap,
+            )
+        unification = self.unifier.unify(ordered, bootstrap)
+
+        attempt_assembler = AttemptAssembler()
+        attempts = attempt_assembler.assemble(unification.jframes)
+
+        exchange_assembler = ExchangeAssembler()
+        exchanges = exchange_assembler.assemble(attempts)
+
+        flows = collect_flows(exchanges)
+        transport = TransportInference()
+        transport_stats = transport.run(flows)
+
+        return JigsawReport(
+            bootstrap=bootstrap,
+            unification=unification,
+            attempts=attempts,
+            attempt_stats=attempt_assembler.stats,
+            exchanges=exchanges,
+            exchange_stats=exchange_assembler.stats,
+            flows=flows,
+            transport_stats=transport_stats,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,23 @@
+"""Synchronization: reference frames, bootstrap, clock tracking."""
+
+from .bootstrap import (
+    BootstrapResult,
+    DEFAULT_BOOTSTRAP_WINDOW_US,
+    SyncPartitionError,
+    bootstrap_synchronization,
+)
+from .refs import ReferenceKey, content_key, parse_record_frame, reference_key
+from .skew import ClockTrack, DEFAULT_SKEW_ALPHA
+
+__all__ = [
+    "BootstrapResult",
+    "DEFAULT_BOOTSTRAP_WINDOW_US",
+    "SyncPartitionError",
+    "bootstrap_synchronization",
+    "ReferenceKey",
+    "content_key",
+    "parse_record_frame",
+    "reference_key",
+    "ClockTrack",
+    "DEFAULT_SKEW_ALPHA",
+]

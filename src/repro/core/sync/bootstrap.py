@@ -1,0 +1,176 @@
+"""Bootstrap synchronization (Section 4.1).
+
+Establishes a single universal time standard across all radios before
+unification begins:
+
+1. examine the first ~second of each trace for *reference frames* —
+   unique frames heard by two or more radios;
+2. group receptions of the same frame into sets ``E_k`` of
+   ``(radio, local timestamp)`` pairs;
+3. greedily select a covering family ``G`` of the largest sets;
+4. breadth-first-search the radio graph induced by ``G`` from radio ``r1``,
+   propagating clock offsets ``T_i`` along edges (each shared frame gives
+   ``T_j = T_i + y_i - y_j``);
+5. bridge across channels through monitors whose two radios share one
+   capture clock (``T_i = T_j`` exactly), since a frame on channel 1 is
+   never heard by a radio parked on channel 11.
+
+Radios unreachable from ``r1`` are reported as a partition — the failure
+mode the paper hits when reducing to 10 pods (Section 6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...jtrace.io import RadioTrace
+from .refs import ReferenceKey, reference_key
+
+#: Default bootstrap examination window ("the first second of data").
+DEFAULT_BOOTSTRAP_WINDOW_US = 1_000_000
+
+
+class SyncPartitionError(RuntimeError):
+    """The reference graph does not connect all radios."""
+
+    def __init__(self, unreachable: Sequence[int]) -> None:
+        self.unreachable = list(unreachable)
+        super().__init__(
+            f"{len(self.unreachable)} radios unreachable during bootstrap: "
+            f"{self.unreachable[:8]}{'...' if len(self.unreachable) > 8 else ''}"
+        )
+
+
+@dataclass
+class BootstrapResult:
+    """Offsets placing every reachable radio on the universal timeline.
+
+    ``offsets_us[r]`` is ``T_r``: universal = local + T_r at bootstrap time.
+    """
+
+    offsets_us: Dict[int, float]
+    unreachable: List[int] = field(default_factory=list)
+    reference_sets_used: int = 0
+    reference_frames_seen: int = 0
+    window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US
+
+    @property
+    def fully_synchronized(self) -> bool:
+        return not self.unreachable
+
+
+def _collect_reference_sets(
+    traces: Sequence[RadioTrace], window_us: int
+) -> Tuple[Dict[ReferenceKey, Dict[int, int]], int]:
+    """Map reference key -> {radio_id: local timestamp} within the window."""
+    sets: Dict[ReferenceKey, Dict[int, int]] = defaultdict(dict)
+    seen = 0
+    for trace in traces:
+        first = trace.first_timestamp_us
+        if first is None:
+            continue
+        for record in trace.records:
+            if record.timestamp_us - first > window_us:
+                break
+            key = reference_key(record)
+            if key is None:
+                continue
+            seen += 1
+            # A radio hears one transmission once; keep the earliest.
+            sets[key].setdefault(trace.radio_id, record.timestamp_us)
+    shared = {k: v for k, v in sets.items() if len(v) >= 2}
+    return shared, seen
+
+
+def _select_covering_family(
+    shared: Dict[ReferenceKey, Dict[int, int]], radios: Sequence[int]
+) -> List[Dict[int, int]]:
+    """Pick, per uncovered radio, its largest E_k; stop at full coverage."""
+    by_radio: Dict[int, List[ReferenceKey]] = defaultdict(list)
+    for key, members in shared.items():
+        for radio in members:
+            by_radio[radio].append(key)
+    covered: Set[int] = set()
+    chosen: List[Dict[int, int]] = []
+    chosen_keys: Set[ReferenceKey] = set()
+    for radio in radios:
+        if radio in covered:
+            continue
+        candidates = by_radio.get(radio)
+        if not candidates:
+            continue
+        best = max(candidates, key=lambda k: len(shared[k]))
+        if best not in chosen_keys:
+            chosen_keys.add(best)
+            chosen.append(shared[best])
+            covered.update(shared[best])
+    return chosen
+
+
+def bootstrap_synchronization(
+    traces: Sequence[RadioTrace],
+    clock_groups: Iterable[Sequence[int]] = (),
+    window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US,
+    auto_widen: bool = True,
+    max_window_us: int = 16_000_000,
+) -> BootstrapResult:
+    """Compute bootstrap offsets ``T_i`` for every radio.
+
+    ``clock_groups`` lists radios that share one physical capture clock
+    (the two radios of one monitor) — infrastructure metadata the real
+    deployment has from its driver configuration.  When ``auto_widen`` is
+    set and the graph partitions, the examination window doubles (up to
+    ``max_window_us``) before giving up, as the paper suggests.
+    """
+    radios = [trace.radio_id for trace in traces]
+    current_window = window_us
+    while True:
+        shared, seen = _collect_reference_sets(traces, current_window)
+        family = _select_covering_family(shared, radios)
+        offsets, unreachable = _bfs_offsets(radios, family, clock_groups)
+        if not unreachable or not auto_widen or current_window >= max_window_us:
+            return BootstrapResult(
+                offsets_us=offsets,
+                unreachable=unreachable,
+                reference_sets_used=len(family),
+                reference_frames_seen=seen,
+                window_us=current_window,
+            )
+        current_window = min(current_window * 2, max_window_us)
+
+
+def _bfs_offsets(
+    radios: Sequence[int],
+    family: Sequence[Dict[int, int]],
+    clock_groups: Iterable[Sequence[int]],
+) -> Tuple[Dict[int, float], List[int]]:
+    # Edge list: radio -> [(other, delta)] with T_other = T_radio + delta.
+    adjacency: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
+    for members in family:
+        items = list(members.items())
+        anchor_radio, anchor_ts = items[0]
+        for radio, ts in items[1:]:
+            delta = float(anchor_ts - ts)   # T_radio = T_anchor + y_anchor - y_radio
+            adjacency[anchor_radio].append((radio, delta))
+            adjacency[radio].append((anchor_radio, -delta))
+    for group in clock_groups:
+        group = list(group)
+        for a, b in zip(group, group[1:]):
+            adjacency[a].append((b, 0.0))
+            adjacency[b].append((a, 0.0))
+
+    if not radios:
+        return {}, []
+    offsets: Dict[int, float] = {radios[0]: 0.0}
+    queue = deque([radios[0]])
+    while queue:
+        radio = queue.popleft()
+        base = offsets[radio]
+        for other, delta in adjacency.get(radio, ()):
+            if other not in offsets:
+                offsets[other] = base + delta
+                queue.append(other)
+    unreachable = [r for r in radios if r not in offsets]
+    return offsets, unreachable

@@ -1,0 +1,80 @@
+"""Reference-frame identification.
+
+"Not all 802.11 frames are good references for synchronization.  For
+example, ACK frames to the same destination are always identical, some
+stations always use zero sequence numbers on probe frames, and frame
+retransmissions cannot be distinguished from one another.  Thus, Jigsaw
+only uses 'unique' frames for all synchronization activities.  Generally,
+these are DATA frames that do not have the retransmit bit set." (Sec. 4.1)
+
+A reference *key* identifies a single physical transmission by content:
+two radios holding records with equal keys heard the same frame at the same
+instant, which is what makes the pair a synchronization constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...dot11.frame import Frame
+from ...dot11.serialize import FrameParseError, frame_from_capture
+from ...jtrace.records import RecordKind, TraceRecord
+
+#: Content identity of one captured frame: (length, FCS, snapped bytes).
+ReferenceKey = Tuple[int, int, bytes]
+
+
+#: Decoded-frame cache keyed by capture content.  Control frames (ACK, CTS)
+#: repeat byte-identical constantly, and every duplicate reception of a
+#: frame shares its bytes — the hit rate in a building trace is high.
+#: Frames are immutable, so sharing decoded objects is safe.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_LIMIT = 1 << 18
+
+
+def parse_record_frame(record: TraceRecord) -> Optional[Frame]:
+    """Best-effort decode of a capture record into a frame.
+
+    Valid records parse unless truncation removed the header (it cannot —
+    the snap always covers it).  Corrupt records usually fail and return
+    ``None``; the pipeline then falls back to transmitter-address matching.
+    """
+    if not record.kind.has_frame or not record.snap:
+        return None
+    key = (record.snap, record.frame_len)
+    cached = _PARSE_CACHE.get(key, False)
+    if cached is not False:
+        return cached
+    if record.frame_len <= len(record.snap):
+        data = record.snap[:-4]  # full capture: strip the FCS trailer
+    else:
+        data = record.snap       # truncated: no FCS present in the snap
+    try:
+        frame: Optional[Frame] = frame_from_capture(data)
+    except FrameParseError:
+        frame = None
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[key] = frame
+    return frame
+
+
+def reference_key(record: TraceRecord) -> Optional[ReferenceKey]:
+    """The synchronization reference key for a record, if it qualifies.
+
+    Requirements: a VALID capture of a sequence-carrying frame whose retry
+    bit is clear.  Returns ``None`` otherwise.
+    """
+    if record.kind is not RecordKind.VALID:
+        return None
+    frame = parse_record_frame(record)
+    if frame is None:
+        return None
+    if not frame.ftype.carries_sequence or frame.retry:
+        return None
+    return (record.frame_len, record.fcs, record.snap)
+
+
+def content_key(record: TraceRecord) -> ReferenceKey:
+    """Plain content identity (no uniqueness filter) for unification."""
+    return (record.frame_len, record.fcs, record.snap)

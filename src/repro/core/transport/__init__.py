@@ -1,0 +1,20 @@
+"""Transport-layer reconstruction and inference."""
+
+from .flows import FlowKey, SegmentObservation, TcpFlow, collect_flows
+from .inference import (
+    InferenceStats,
+    LossCause,
+    TcpLossEvent,
+    TransportInference,
+)
+
+__all__ = [
+    "FlowKey",
+    "SegmentObservation",
+    "TcpFlow",
+    "collect_flows",
+    "InferenceStats",
+    "LossCause",
+    "TcpLossEvent",
+    "TransportInference",
+]

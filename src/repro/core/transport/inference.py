@@ -1,0 +1,343 @@
+"""Transport-layer inference (Section 5.2).
+
+Three jobs, all built on the same observation: TCP's cumulative ACK is an
+oracle for what actually crossed the link.
+
+1. **Delivery disambiguation** — a frame exchange with no observed 802.11
+   ACK is ambiguous at the link layer; "observing a covering TCP ACK proves
+   that the link-layer frame containing the associated data was actually
+   delivered", so those exchanges get upgraded to delivered.
+2. **Monitor-omission detection** — "if we observe a TCP acknowledgment
+   that covers an TCP sequence hole, we can infer that the packet was
+   correctly delivered" even though no monitor captured it.
+3. **Loss classification** — every TCP-level retransmission marks a loss;
+   examining the frame exchanges of the lost copy separates 802.11 losses
+   from losses in the wired network (the Figure 11 decomposition), in the
+   spirit of Jaiswal et al.'s passive analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...tcp.endpoint import seq_leq, seq_lt
+from .flows import SegmentObservation, TcpFlow
+
+
+class LossCause(enum.Enum):
+    WIRELESS = "wireless"    # the 802.11 hop dropped it
+    WIRED = "wired"          # delivered over the air, lost beyond (or
+    #                          never reached the air on the way down)
+    UNKNOWN = "unknown"      # evidence insufficient
+    SPURIOUS = "spurious"    # no loss at all: the covering ACK crossed the
+    #                          air before the retransmission — a delay-
+    #                          induced (Karn/RTO) spurious retransmission
+
+
+@dataclass
+class TcpLossEvent:
+    """One segment loss, as seen by TCP."""
+
+    seq: int
+    time_us: int
+    from_a: bool
+    cause: LossCause
+    retransmission_time_us: int
+
+
+@dataclass
+class InferenceStats:
+    flows: int = 0
+    handshakes_completed: int = 0
+    exchanges_upgraded_by_ack_coverage: int = 0
+    hidden_segments_inferred: int = 0
+    loss_events: int = 0
+    wireless_losses: int = 0
+    wired_losses: int = 0
+    unknown_losses: int = 0
+    spurious_retransmissions: int = 0
+
+
+class TransportInference:
+    """Runs all Section 5.2 analyses over a set of reconstructed flows."""
+
+    def __init__(self) -> None:
+        self.stats = InferenceStats()
+
+    def run(self, flows: Sequence[TcpFlow]) -> InferenceStats:
+        for flow in flows:
+            self.stats.flows += 1
+            self._detect_handshake(flow)
+            self._apply_ack_coverage(flow)
+            self._detect_hidden_segments(flow)
+            self._classify_losses(flow)
+            self._estimate_rtt(flow)
+        return self.stats
+
+    # --- handshake -----------------------------------------------------------
+
+    def _detect_handshake(self, flow: TcpFlow) -> None:
+        """SYN / SYN-ACK / covering ACK — used to keep only real
+        connections ("eliminating port scans and connection failures",
+        Section 7.4)."""
+        syn: Optional[SegmentObservation] = None
+        synack: Optional[SegmentObservation] = None
+        for obs in flow.observations:
+            seg = obs.seg
+            if seg.is_syn and not seg.is_ack and syn is None:
+                syn = obs
+            elif seg.is_syn and seg.is_ack and syn is not None and synack is None:
+                if obs.from_a != syn.from_a:
+                    synack = obs
+            elif (
+                synack is not None
+                and seg.is_ack
+                and obs.from_a == syn.from_a
+                and seq_leq(synack.seg.seq_end, seg.ack)
+            ):
+                flow.handshake_complete = True
+                flow.syn_time_us = syn.time_us
+                flow.synack_time_us = synack.time_us
+                flow.established_time_us = obs.time_us
+                self.stats.handshakes_completed += 1
+                return
+
+    # --- ACK-coverage oracle ------------------------------------------------------
+
+    def _apply_ack_coverage(self, flow: TcpFlow) -> None:
+        """Upgrade ambiguous exchanges whose data a TCP ACK later covered.
+
+        An exchange stays ambiguous only if the segment was retransmitted
+        at the TCP layer before any covering ACK — then the covering ACK
+        proves only that *some* copy arrived, not this one.
+        """
+        for direction in (True, False):
+            data = [o for o in flow.observations if o.from_a == direction and o.is_data]
+            acks = [
+                o
+                for o in flow.observations
+                if o.from_a != direction and o.seg.is_ack
+            ]
+            if not data or not acks:
+                continue
+            for i, obs in enumerate(data):
+                if obs.exchange.delivered is not None:
+                    continue
+                covering = next(
+                    (
+                        a
+                        for a in acks
+                        if a.time_us > obs.time_us
+                        and seq_leq(obs.seq_end, a.seg.ack)
+                    ),
+                    None,
+                )
+                if covering is None:
+                    continue
+                # Was this seq retransmitted between obs and the ACK?
+                retransmitted = any(
+                    later.seg.seq == obs.seg.seq
+                    and obs.time_us < later.time_us < covering.time_us
+                    for later in data[i + 1:]
+                )
+                if not retransmitted:
+                    obs.exchange.delivered = True
+                    obs.exchange.delivery_inferred_from_transport = True
+                    self.stats.exchanges_upgraded_by_ack_coverage += 1
+
+    # --- monitor omissions ----------------------------------------------------------
+
+    def _detect_hidden_segments(self, flow: TcpFlow) -> None:
+        """Count sequence ranges that were ACKed but never observed."""
+        for direction in (True, False):
+            data = sorted(
+                (o for o in flow.observations if o.from_a == direction and o.is_data),
+                key=lambda o: (o.seg.seq & 0xFFFFFFFF),
+            )
+            acks = [
+                o
+                for o in flow.observations
+                if o.from_a != direction and o.seg.is_ack
+            ]
+            if not data or not acks:
+                continue
+            max_ack = max((a.seg.ack for a in acks), default=0)
+            covered: List[Tuple[int, int]] = []
+            for obs in data:
+                covered.append((obs.seg.seq, obs.seq_end))
+            covered.sort()
+            # Walk the covered ranges looking for holes below max_ack.
+            holes = 0
+            for (s1, e1), (s2, _) in zip(covered, covered[1:]):
+                if seq_lt(e1, s2) and seq_leq(s2, max_ack):
+                    holes += 1
+            flow.inferred_hidden_segments += holes
+            self.stats.hidden_segments_inferred += holes
+
+    # --- loss classification -----------------------------------------------------------
+
+    def _classify_losses(self, flow: TcpFlow) -> None:
+        """Every TCP retransmission marks a loss; find out whose fault.
+
+        * Earlier copy observed, link exchange failed or stayed ambiguous
+          with no covering ACK -> wireless loss.
+        * Earlier copy observed, link exchange delivered (ACK seen or
+          transport-inferred) -> the drop happened in the wired network.
+        * Earlier copy never observed at all: a downlink segment never made
+          it to the AP (wired); an uplink segment was sent by the client's
+          TCP but died on the (monitored) air -> wireless.
+        """
+        for direction in (True, False):
+            data = [o for o in flow.observations if o.from_a == direction and o.is_data]
+            reverse_acks = [
+                o
+                for o in flow.observations
+                if o.from_a != direction and o.seg.is_ack
+            ]
+            by_seq: Dict[int, List[SegmentObservation]] = {}
+            for obs in data:
+                by_seq.setdefault(obs.seg.seq, []).append(obs)
+            highest_end: Optional[int] = None
+            for obs in data:
+                if highest_end is not None and seq_lt(obs.seg.seq, highest_end):
+                    # Sequence regression: this is a retransmission.
+                    copies = by_seq[obs.seg.seq]
+                    prior = [c for c in copies if c.time_us < obs.time_us]
+                    if prior:
+                        original = prior[-1]
+                        cause = self._cause_of_loss(
+                            original, obs, reverse_acks
+                        )
+                        event_time = original.time_us
+                    else:
+                        # The original never appeared in the trace.
+                        cause = (
+                            LossCause.WIRED
+                            if obs.to_wireless
+                            else LossCause.WIRELESS
+                        )
+                        event_time = obs.time_us
+                    self._record_loss(flow, obs, cause, event_time)
+                if highest_end is None or seq_lt(highest_end, obs.seq_end):
+                    highest_end = obs.seq_end
+
+    def _cause_of_loss(
+        self,
+        original: SegmentObservation,
+        retransmission: SegmentObservation,
+        reverse_acks: List[SegmentObservation],
+    ) -> LossCause:
+        """Attribute one TCP loss by examining both directions' exchanges.
+
+        The forward exchange failing is the easy case.  When the data
+        *did* cross the air yet TCP still retransmitted, the loss moved to
+        the acknowledgment path — so inspect the frame exchanges of the
+        reverse ACKs covering this segment:
+
+        * a covering reverse ACK observed whose own exchange failed on the
+          air -> a wireless loss (of the ACK);
+        * a covering reverse ACK that crossed the air fine -> the drop
+          happened in the wired network;
+        * no covering reverse ACK observed at all -> for uplink data the
+          segment most plausibly died in the wired network beyond the AP;
+          for downlink data the evidence is insufficient.
+        """
+        delivered = original.exchange.delivered
+        if delivered is False:
+            return LossCause.WIRELESS
+        covering = [
+            a
+            for a in reverse_acks
+            if original.time_us < a.time_us < retransmission.time_us
+            and seq_leq(original.seq_end, a.seg.ack)
+        ]
+        if covering:
+            if any(a.exchange.delivered is True for a in covering):
+                # The acknowledgment did cross the air before the sender
+                # retransmitted: nothing was lost on the wireless hop, and
+                # a same-instant wired drop of a delivered ACK is far less
+                # likely than an RTO racing jam-delayed delivery.  This is
+                # a spurious retransmission, not a loss.
+                return LossCause.SPURIOUS
+            if all(a.exchange.delivered is False for a in covering):
+                return LossCause.WIRELESS
+            return LossCause.UNKNOWN
+        # No covering reverse ACK was ever on the air before the sender
+        # retransmitted.  For uplink data that crossed the air, the segment
+        # (or its ACK) died in the wired network beyond the AP.  For
+        # downlink data the receiver's TCP never acknowledged over the air
+        # — the segment or its acknowledgment was lost on the wireless hop.
+        if not original.to_wireless:
+            return (
+                LossCause.WIRED if delivered is True else LossCause.UNKNOWN
+            )
+        return LossCause.WIRELESS
+
+    def _record_loss(
+        self,
+        flow: TcpFlow,
+        retransmission: SegmentObservation,
+        cause: LossCause,
+        event_time_us: int,
+    ) -> None:
+        if cause is LossCause.SPURIOUS:
+            # Not a loss: the retransmission raced a delayed delivery.
+            self.stats.spurious_retransmissions += 1
+            return
+        flow.loss_events.append(
+            TcpLossEvent(
+                seq=retransmission.seg.seq,
+                time_us=event_time_us,
+                from_a=retransmission.from_a,
+                cause=cause,
+                retransmission_time_us=retransmission.time_us,
+            )
+        )
+        self.stats.loss_events += 1
+        if cause is LossCause.WIRELESS:
+            self.stats.wireless_losses += 1
+        elif cause is LossCause.WIRED:
+            self.stats.wired_losses += 1
+        else:
+            self.stats.unknown_losses += 1
+
+    # --- RTT -----------------------------------------------------------------------------
+
+    def _estimate_rtt(self, flow: TcpFlow) -> None:
+        """Data-to-covering-ACK delay samples (Jaiswal-style).
+
+        Only never-retransmitted segments give unambiguous samples (Karn's
+        rule, applied in reverse by the passive observer).
+        """
+        if flow.syn_time_us is not None and flow.synack_time_us is not None:
+            flow.rtt_samples_us.append(
+                float(flow.synack_time_us - flow.syn_time_us)
+            )
+        for direction in (True, False):
+            data = [o for o in flow.observations if o.from_a == direction and o.is_data]
+            acks = [
+                o
+                for o in flow.observations
+                if o.from_a != direction and o.seg.is_ack
+            ]
+            seq_counts: Dict[int, int] = {}
+            for obs in data:
+                seq_counts[obs.seg.seq] = seq_counts.get(obs.seg.seq, 0) + 1
+            for obs in data:
+                if seq_counts[obs.seg.seq] > 1:
+                    continue
+                covering = next(
+                    (
+                        a
+                        for a in acks
+                        if a.time_us > obs.time_us
+                        and seq_leq(obs.seq_end, a.seg.ack)
+                    ),
+                    None,
+                )
+                if covering is not None:
+                    flow.rtt_samples_us.append(
+                        float(covering.time_us - obs.time_us)
+                    )

@@ -1,0 +1,21 @@
+"""Unification: merging all traces into a single jframe timeline."""
+
+from .jframe import Instance, JFrame, JFrameKind
+from .unifier import (
+    DEFAULT_RESYNC_THRESHOLD_US,
+    DEFAULT_SEARCH_WINDOW_US,
+    UnificationResult,
+    Unifier,
+    UnifyStats,
+)
+
+__all__ = [
+    "Instance",
+    "JFrame",
+    "JFrameKind",
+    "DEFAULT_RESYNC_THRESHOLD_US",
+    "DEFAULT_SEARCH_WINDOW_US",
+    "UnificationResult",
+    "Unifier",
+    "UnifyStats",
+]

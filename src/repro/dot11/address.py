@@ -1,0 +1,141 @@
+"""48-bit IEEE MAC addresses.
+
+Frames are addressed using 48-bit IEEE MAC addresses (Section 2).  We model
+them as an immutable value type wrapping an integer, which keeps trace
+records compact and hashing cheap — addresses are dictionary keys throughout
+the reconstruction pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterator
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+#: Locally-administered bit in the first octet.
+_LOCAL_BIT = 0x02_00_00_00_00_00
+#: Group (multicast/broadcast) bit in the first octet.
+_GROUP_BIT = 0x01_00_00_00_00_00
+
+
+@total_ordering
+class MacAddress:
+    """An immutable 48-bit IEEE MAC address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF_FFFF_FFFF:
+            raise ValueError(f"MAC address out of range: {value:#x}")
+        self._value = value
+
+    # --- constructors -------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (or dash-separated) notation."""
+        if not _MAC_RE.match(text):
+            raise ValueError(f"not a MAC address: {text!r}")
+        return cls(int(text.replace("-", ":").replace(":", ""), 16))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MacAddress":
+        if len(raw) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    # --- representation -----------------------------------------------
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        octets = self.to_bytes()
+        return ":".join(f"{b:02x}" for b in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    # --- classification ------------------------------------------------
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFF_FFFF_FFFF
+
+    @property
+    def is_multicast(self) -> bool:
+        """Group-addressed but not the all-ones broadcast address."""
+        return bool(self._value & _GROUP_BIT) and not self.is_broadcast
+
+    @property
+    def is_group(self) -> bool:
+        """Broadcast or multicast — frames to these are never ACKed."""
+        return bool(self._value & _GROUP_BIT)
+
+    @property
+    def is_unicast(self) -> bool:
+        return not self.is_group
+
+    @property
+    def oui(self) -> int:
+        """The 24-bit organizationally unique identifier."""
+        return self._value >> 24
+
+    # --- dunder plumbing -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        if isinstance(other, MacAddress):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+#: The link-layer broadcast address.
+BROADCAST = MacAddress(0xFFFF_FFFF_FFFF)
+
+
+class MacAllocator:
+    """Hands out distinct, locally-administered unicast MAC addresses.
+
+    Scenario construction uses separate allocators per device class so that
+    address blocks are recognizable when debugging traces (APs live in one
+    block, clients in another).
+    """
+
+    def __init__(self, base_oui: int) -> None:
+        if not 0 <= base_oui <= 0xFFFFFF:
+            raise ValueError("OUI must fit in 24 bits")
+        # Force locally-administered, individual (non-group) addressing.
+        oui = (base_oui | 0x020000) & ~0x010000
+        self._base = oui << 24
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        if self._next > 0xFFFFFF:
+            raise RuntimeError("MAC allocator exhausted")
+        addr = MacAddress(self._base | self._next)
+        self._next += 1
+        return addr
+
+    def allocate_many(self, count: int) -> Iterator[MacAddress]:
+        for _ in range(count):
+            yield self.allocate()
+
+
+#: Conventional OUI blocks used by the scenario builder.
+AP_OUI = 0x00_0A_0A        # access points
+CLIENT_OUI = 0x00_0C_0C    # wireless clients
+WIRED_OUI = 0x00_0E_0E     # wired-side hosts (servers, Vernier tracker)

@@ -1,0 +1,118 @@
+"""802.11b/g MAC and PHY timing constants.
+
+All times are in integer microseconds, matching the 1 us resolution of the
+Atheros capture clock used by the paper's monitors (Section 3.3).  Values
+follow IEEE 802.11-1999 (DSSS/CCK) and 802.11g-2003 (ERP-OFDM) for the
+2.4 GHz band, which is the environment Jigsaw monitors (802.11b/g only).
+"""
+
+from __future__ import annotations
+
+# --- Slot and interframe spacing (2.4 GHz) ---------------------------------
+
+#: Slot time for 802.11b and for 802.11g when any non-ERP (11b) station is
+#: present.  The paper uses 20 us as "the precision of a physical layer slot
+#: time" target for synchronization (Section 4).
+SLOT_TIME_LONG_US = 20
+
+#: Short slot time available to pure-802.11g BSSes.
+SLOT_TIME_SHORT_US = 9
+
+#: Short interframe space: gap between a DATA frame and its ACK, or between
+#: a CTS and the protected frame.
+SIFS_US = 10
+
+#: Extended SIFS used by ERP-OFDM in mixed mode (footnote 7 of the paper
+#: uses 16 us as the SIFS figure in its protection-overhead arithmetic; that
+#: value is SIFS + OFDM signal extension and we expose it separately).
+SIFS_OFDM_US = 16
+
+#: DIFS = SIFS + 2 * slot.  DCF waits this long on an idle channel before
+#: transmitting or starting backoff.
+DIFS_US = SIFS_US + 2 * SLOT_TIME_LONG_US
+
+#: EIFS follows an erroneous reception (rough 802.11b value; exact value
+#: depends on ACK duration at the lowest basic rate).
+EIFS_US = 364
+
+# --- Contention window ------------------------------------------------------
+
+#: Initial contention window (CWmin) for DSSS/CCK PHYs.
+CW_MIN = 31
+
+#: Maximum contention window.
+CW_MAX = 1023
+
+#: 802.11 dot11LongRetryLimit default; transmissions are abandoned after
+#: this many attempts.
+RETRY_LIMIT = 7
+
+# --- PLCP preamble/header durations ----------------------------------------
+
+#: Long PLCP preamble + header (1 Mbps DBPSK), mandatory for 1 Mbps frames
+#: and used by "legacy" devices: 144 us preamble + 48 us header.
+PLCP_LONG_US = 192
+
+#: Short PLCP preamble + header (allowed for 2/5.5/11 Mbps): 72 + 24 us.
+PLCP_SHORT_US = 96
+
+#: OFDM PLCP preamble (16 us) + SIGNAL field (4 us) for 802.11g rates.
+PLCP_OFDM_US = 20
+
+#: OFDM symbol duration; payload airtime is quantized to whole symbols.
+OFDM_SYMBOL_US = 4
+
+#: OFDM signal extension appended to ERP frames in the 2.4 GHz band.
+OFDM_SIGNAL_EXTENSION_US = 6
+
+# --- Frame sizes ------------------------------------------------------------
+
+#: Bytes of MAC overhead on a DATA frame: frame control (2), duration (2),
+#: three addresses (18), sequence control (2), FCS (4).
+DATA_HEADER_BYTES = 28
+
+#: ACK and CTS frames: frame control (2), duration (2), RA (6), FCS (4).
+ACK_FRAME_BYTES = 14
+CTS_FRAME_BYTES = 14
+
+#: RTS frame: frame control (2), duration (2), RA (6), TA (6), FCS (4).
+RTS_FRAME_BYTES = 20
+
+#: Typical beacon body (timestamp, interval, capabilities, SSID, rates,
+#: TIM...) used when a scenario does not specify a size.
+DEFAULT_BEACON_BODY_BYTES = 80
+
+#: LLC/SNAP encapsulation header preceding IP payloads on 802.11.
+LLC_SNAP_BYTES = 8
+
+#: The capture pipeline stores at most this many payload bytes per frame
+#: ("each frame contains up to 200 bytes of payload", Section 5).
+CAPTURE_SNAP_BYTES = 200
+
+# --- Sequence numbers -------------------------------------------------------
+
+#: DATA/MANAGEMENT frames carry a 12-bit monotonically increasing sequence
+#: number (Section 2).
+SEQ_MODULO = 4096
+
+# --- Timing facts used by reconstruction ------------------------------------
+
+#: "almost all frame exchanges can complete within 500 ms" (Section 5.1);
+#: the exchange FSM uses this as its staleness horizon.
+EXCHANGE_HORIZON_US = 500_000
+
+#: Beacon period: "rarely over 100 ms since this is roughly the period
+#: between AP beacon frames" (Section 4.2).
+BEACON_INTERVAL_US = 102_400  # 100 TU of 1024 us, the common default
+
+#: 802.11 mandates clock accuracy of at least 100 PPM (Section 4.2).
+MAX_CLOCK_SKEW_PPM = 100.0
+
+#: ACK timeout: how long a sender waits for the ACK before scheduling a
+#: retransmission (SIFS + slot + PLCP is the standard formulation).
+ACK_TIMEOUT_US = SIFS_US + SLOT_TIME_LONG_US + PLCP_LONG_US
+
+#: Propagation delay is "effectively instantaneous -- less than 1
+#: microsecond to cover 500 meters" (Section 4); the simulator treats all
+#: receptions of a transmission as simultaneous, as Jigsaw assumes.
+PROPAGATION_DELAY_US = 0

@@ -1,0 +1,36 @@
+"""Frame check sequence (FCS) — the 32-bit CRC trailing every 802.11 frame.
+
+The unification fast path "compares frame length, rate, and FCS fields first
+and short-circuits the comparison on failure" (Section 4.2), and the capture
+pipeline classifies receptions as valid or CRC-errored by FCS check, so we
+carry a real CRC-32 rather than a boolean.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def fcs32(data: bytes) -> int:
+    """Compute the 802.11 FCS over a serialized MAC frame body."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def append_fcs(data: bytes) -> bytes:
+    """Return ``data`` with its 4-byte little-endian FCS appended."""
+    return data + fcs32(data).to_bytes(4, "little")
+
+
+def check_fcs(frame_with_fcs: bytes) -> bool:
+    """True when the trailing FCS matches the frame contents."""
+    if len(frame_with_fcs) < 4:
+        return False
+    body, trailer = frame_with_fcs[:-4], frame_with_fcs[-4:]
+    return fcs32(body) == int.from_bytes(trailer, "little")
+
+
+def strip_fcs(frame_with_fcs: bytes) -> bytes:
+    """Drop the 4-byte FCS trailer (no validity check)."""
+    if len(frame_with_fcs) < 4:
+        raise ValueError("frame shorter than an FCS")
+    return frame_with_fcs[:-4]

@@ -1,0 +1,373 @@
+"""802.11 MAC frame model.
+
+A single :class:`Frame` dataclass covers the frame types Jigsaw's
+reconstruction cares about (Section 2):
+
+* DATA frames carrying LLC/IP/TCP payloads (with 12-bit sequence numbers
+  and the retry bit used by the exchange FSM);
+* ACK / RTS / CTS control frames, which "only specify the transmitter or
+  receiver";
+* BEACON and PROBE management frames "used to discover the presence and
+  capabilities of access points";
+* ASSOCIATION and AUTHENTICATION management frames "used to specifically
+  connect a client to an access point".
+
+Frames are *content*; transmission metadata (rate, channel, time, power)
+lives on the simulator's transmission events and the monitors' trace
+records, matching the real split between a frame and its radiotap header.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .address import BROADCAST, MacAddress
+from .constants import (
+    ACK_FRAME_BYTES,
+    CTS_FRAME_BYTES,
+    DATA_HEADER_BYTES,
+    DEFAULT_BEACON_BODY_BYTES,
+    RTS_FRAME_BYTES,
+    SEQ_MODULO,
+)
+
+
+class FrameType(enum.Enum):
+    """MAC frame subtype, collapsed to the distinctions Jigsaw uses."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+    BEACON = "beacon"
+    PROBE_REQUEST = "probe_req"
+    PROBE_RESPONSE = "probe_resp"
+    ASSOC_REQUEST = "assoc_req"
+    ASSOC_RESPONSE = "assoc_resp"
+    AUTH = "auth"
+    DEAUTH = "deauth"
+    DISASSOC = "disassoc"
+
+    @property
+    def is_control(self) -> bool:
+        return self in _CONTROL_TYPES
+
+    @property
+    def is_management(self) -> bool:
+        return self in _MANAGEMENT_TYPES
+
+    @property
+    def is_data(self) -> bool:
+        return self is FrameType.DATA
+
+    @property
+    def carries_sequence(self) -> bool:
+        """DATA and MANAGEMENT frames carry sequence numbers (Section 2)."""
+        return self not in _CONTROL_TYPES
+
+
+_CONTROL_TYPES = frozenset((FrameType.ACK, FrameType.RTS, FrameType.CTS))
+_MANAGEMENT_TYPES = frozenset(
+    (
+        FrameType.BEACON,
+        FrameType.PROBE_REQUEST,
+        FrameType.PROBE_RESPONSE,
+        FrameType.ASSOC_REQUEST,
+        FrameType.ASSOC_RESPONSE,
+        FrameType.AUTH,
+        FrameType.DEAUTH,
+        FrameType.DISASSOC,
+    )
+)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An 802.11 MAC frame.
+
+    ``addr1`` is the receiver address (RA) and is present on every frame.
+    ``addr2`` is the transmitter address (TA); it is ``None`` on ACK and CTS
+    frames other than CTS-to-self (a CTS-to-self carries the sender in RA,
+    so it is still addressable — see :func:`make_cts_to_self`).  ``addr3``
+    carries the BSSID (or DA/SA depending on ToDS/FromDS) for DATA and
+    management frames.
+    """
+
+    ftype: FrameType
+    addr1: MacAddress
+    addr2: Optional[MacAddress] = None
+    addr3: Optional[MacAddress] = None
+    duration_us: int = 0
+    seq: Optional[int] = None
+    retry: bool = False
+    to_ds: bool = False
+    from_ds: bool = False
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        seq = self.seq
+        if self.ftype in _CONTROL_TYPES:
+            if seq is not None:
+                raise ValueError(f"{self.ftype} frames carry no sequence number")
+        elif seq is None:
+            raise ValueError(f"{self.ftype} frames require a sequence number")
+        elif not 0 <= seq < SEQ_MODULO:
+            raise ValueError(f"sequence number out of range: {seq}")
+        if not 0 <= self.duration_us <= 0xFFFF:
+            raise ValueError(f"duration field out of range: {self.duration_us}")
+
+    # --- addressing helpers ------------------------------------------------
+
+    @property
+    def transmitter(self) -> Optional[MacAddress]:
+        """The station that sent this frame, when the frame names it.
+
+        For ACK and plain CTS frames the transmitter is anonymous; for
+        CTS-to-self the RA *is* the transmitter, but a receiver cannot know
+        that from the frame alone, so we conservatively return ``None`` and
+        let the link-layer reconstruction resolve it from context.
+        """
+        return self.addr2
+
+    @property
+    def receiver(self) -> MacAddress:
+        return self.addr1
+
+    @property
+    def bssid(self) -> Optional[MacAddress]:
+        return self.addr3
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.addr1.is_broadcast
+
+    @property
+    def is_group_addressed(self) -> bool:
+        return self.addr1.is_group
+
+    @property
+    def expects_ack(self) -> bool:
+        """Unicast DATA/management frames elicit an immediate ACK."""
+        return (
+            self.ftype.carries_sequence
+            and self.addr1.is_unicast
+        )
+
+    # --- size ---------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """On-air MAC frame size including header and FCS."""
+        if self.ftype is FrameType.ACK:
+            return ACK_FRAME_BYTES
+        if self.ftype is FrameType.CTS:
+            return CTS_FRAME_BYTES
+        if self.ftype is FrameType.RTS:
+            return RTS_FRAME_BYTES
+        # DATA and management frames share the 3-address header layout.
+        return DATA_HEADER_BYTES + len(self.body)
+
+    # --- mutation helpers ----------------------------------------------------
+
+    def as_retry(self) -> "Frame":
+        """A copy of this frame with the retry bit set (retransmission)."""
+        return replace(self, retry=True)
+
+    def with_duration(self, duration_us: int) -> "Frame":
+        return replace(self, duration_us=duration_us)
+
+    def __str__(self) -> str:
+        seq = f" seq={self.seq}" if self.seq is not None else ""
+        retry = " retry" if self.retry else ""
+        src = f" {self.addr2}->" if self.addr2 is not None else " ?->"
+        return f"<{self.ftype.value}{src}{self.addr1}{seq}{retry} dur={self.duration_us}>"
+
+
+# --- factories ---------------------------------------------------------------
+
+
+def make_data(
+    src: MacAddress,
+    dst: MacAddress,
+    bssid: MacAddress,
+    seq: int,
+    body: bytes,
+    duration_us: int = 0,
+    retry: bool = False,
+    to_ds: bool = False,
+    from_ds: bool = False,
+) -> Frame:
+    """A DATA frame from ``src`` to ``dst`` within ``bssid``."""
+    return Frame(
+        ftype=FrameType.DATA,
+        addr1=dst,
+        addr2=src,
+        addr3=bssid,
+        duration_us=duration_us,
+        seq=seq,
+        retry=retry,
+        to_ds=to_ds,
+        from_ds=from_ds,
+        body=body,
+    )
+
+
+def make_ack(receiver: MacAddress) -> Frame:
+    """An ACK addressed to the station whose frame is being acknowledged."""
+    return Frame(ftype=FrameType.ACK, addr1=receiver, duration_us=0)
+
+
+def make_rts(src: MacAddress, dst: MacAddress, duration_us: int) -> Frame:
+    return Frame(
+        ftype=FrameType.RTS, addr1=dst, addr2=src, duration_us=duration_us
+    )
+
+
+def make_cts(receiver: MacAddress, duration_us: int) -> Frame:
+    """A CTS answering an RTS (addressed to the RTS sender)."""
+    return Frame(ftype=FrameType.CTS, addr1=receiver, duration_us=duration_us)
+
+
+def make_cts_to_self(sender: MacAddress, duration_us: int) -> Frame:
+    """A CTS-to-self used for 802.11g protection (Section 2).
+
+    The RA is the *sender's own address*, which is how the link-layer
+    reconstruction attributes the protection frame: "CTS-to-self frames
+    (used for 802.11g protection) do as well [carry the sender address]"
+    (Section 5.1).
+    """
+    return Frame(ftype=FrameType.CTS, addr1=sender, duration_us=duration_us)
+
+
+def make_beacon(
+    ap: MacAddress,
+    seq: int,
+    ssid: str = "jigsaw",
+    body_bytes: int = DEFAULT_BEACON_BODY_BYTES,
+    protection: bool = False,
+) -> Frame:
+    """A broadcast beacon from an AP.
+
+    The body embeds the SSID and the ERP protection flag (as the real ERP
+    information element does) then pads to ``body_bytes``, so beacons from
+    different APs differ in content only via addr2/addr3/seq/flags —
+    periodic and content-stable like the real thing.
+    """
+    flag = b"|prot" if protection else b"|free"
+    ssid_bytes = ssid.encode()[:32] + flag
+    padding = max(0, body_bytes - len(ssid_bytes))
+    return Frame(
+        ftype=FrameType.BEACON,
+        addr1=BROADCAST,
+        addr2=ap,
+        addr3=ap,
+        seq=seq,
+        from_ds=True,
+        body=ssid_bytes + b"\x00" * padding,
+    )
+
+
+def beacon_advertises_protection(frame: Frame) -> bool:
+    """Read the ERP-protection flag back out of a beacon body."""
+    return frame.ftype is FrameType.BEACON and b"|prot" in frame.body
+
+
+def make_probe_request(
+    client: MacAddress, seq: int, ssid: str = "", supports_ofdm: bool = True
+) -> Frame:
+    """A broadcast probe request from a client scanning for APs.
+
+    The body carries the client's supported-rates marker, as real probe
+    requests do — this is how APs (and the Section 7.3 analysis) learn that
+    a legacy 802.11b client is in range.
+    """
+    marker = b"|ofdm" if supports_ofdm else b"|cck-only"
+    return Frame(
+        ftype=FrameType.PROBE_REQUEST,
+        addr1=BROADCAST,
+        addr2=client,
+        addr3=BROADCAST,
+        seq=seq,
+        body=ssid.encode()[:32] + marker,
+    )
+
+
+def frame_marks_cck_only(frame: Frame) -> bool:
+    """True when a probe/assoc request advertises CCK-only (802.11b) rates."""
+    return frame.ftype in (FrameType.PROBE_REQUEST, FrameType.ASSOC_REQUEST) and (
+        frame.body.endswith(b"cck-only")
+    )
+
+
+def make_probe_response(
+    ap: MacAddress, client: MacAddress, seq: int, ssid: str = "jigsaw"
+) -> Frame:
+    """A unicast probe response; Section 7.3 uses these to estimate client
+    transmission range for the protection-mode analysis."""
+    return Frame(
+        ftype=FrameType.PROBE_RESPONSE,
+        addr1=client,
+        addr2=ap,
+        addr3=ap,
+        seq=seq,
+        from_ds=True,
+        body=ssid.encode()[:32] + b"\x00" * 16,
+    )
+
+
+def make_assoc_request(
+    client: MacAddress, ap: MacAddress, seq: int, supports_ofdm: bool
+) -> Frame:
+    """An association request; the body encodes the client's rate support so
+    the AP can apply its protection-mode policy (Section 7.3)."""
+    marker = b"ofdm" if supports_ofdm else b"cck-only"
+    return Frame(
+        ftype=FrameType.ASSOC_REQUEST,
+        addr1=ap,
+        addr2=client,
+        addr3=ap,
+        seq=seq,
+        to_ds=False,
+        body=marker,
+    )
+
+
+def make_assoc_response(
+    ap: MacAddress, client: MacAddress, seq: int, success: bool = True
+) -> Frame:
+    status = b"\x00\x00" if success else b"\x01\x00"
+    return Frame(
+        ftype=FrameType.ASSOC_RESPONSE,
+        addr1=client,
+        addr2=ap,
+        addr3=ap,
+        seq=seq,
+        body=status,
+    )
+
+
+def make_auth(
+    initiator: MacAddress, responder: MacAddress, seq: int, step: int
+) -> Frame:
+    """An authentication frame (open system, two-step handshake)."""
+    return Frame(
+        ftype=FrameType.AUTH,
+        addr1=responder,
+        addr2=initiator,
+        addr3=responder,
+        seq=seq,
+        body=step.to_bytes(2, "little"),
+    )
+
+
+def make_deauth(src: MacAddress, dst: MacAddress, seq: int, reason: int = 3) -> Frame:
+    return Frame(
+        ftype=FrameType.DEAUTH,
+        addr1=dst,
+        addr2=src,
+        addr3=src,
+        seq=seq,
+        body=reason.to_bytes(2, "little"),
+    )

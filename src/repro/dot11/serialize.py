@@ -1,0 +1,150 @@
+"""Frame serialization — the byte representation monitors capture.
+
+Jigsaw's unification works on captured *bytes*: it performs "content
+comparisons" between instances, short-circuiting on length/FCS mismatch
+(Section 4.2), and corrupted receptions are byte-level damaged copies.  We
+therefore define a compact deterministic wire format with a trailing FCS.
+The format is not the IEEE layout bit-for-bit (we collapse subtype encoding
+into one byte), but it preserves every property the algorithms rely on:
+per-frame FCS, truncatability, and byte-comparable content.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .address import MacAddress
+from .fcs import append_fcs, check_fcs
+from .frame import Frame, FrameType
+
+#: Stable on-wire order of frame types (index = wire id).
+_WIRE_TYPES = tuple(FrameType)
+_TYPE_TO_WIRE = {ftype: i for i, ftype in enumerate(_WIRE_TYPES)}
+
+_FLAG_RETRY = 1 << 0
+_FLAG_TO_DS = 1 << 1
+_FLAG_FROM_DS = 1 << 2
+_FLAG_HAS_ADDR2 = 1 << 3
+_FLAG_HAS_ADDR3 = 1 << 4
+_FLAG_HAS_SEQ = 1 << 5
+
+_HEADER = struct.Struct("<BBH")  # type, flags, duration
+
+
+class FrameParseError(ValueError):
+    """Raised when bytes cannot be decoded into a frame."""
+
+
+def frame_to_bytes(frame: Frame) -> bytes:
+    """Serialize ``frame`` to its on-air byte representation (with FCS)."""
+    flags = 0
+    if frame.retry:
+        flags |= _FLAG_RETRY
+    if frame.to_ds:
+        flags |= _FLAG_TO_DS
+    if frame.from_ds:
+        flags |= _FLAG_FROM_DS
+    if frame.addr2 is not None:
+        flags |= _FLAG_HAS_ADDR2
+    if frame.addr3 is not None:
+        flags |= _FLAG_HAS_ADDR3
+    if frame.seq is not None:
+        flags |= _FLAG_HAS_SEQ
+
+    parts = [
+        _HEADER.pack(_TYPE_TO_WIRE[frame.ftype], flags, frame.duration_us),
+        frame.addr1.to_bytes(),
+    ]
+    if frame.addr2 is not None:
+        parts.append(frame.addr2.to_bytes())
+    if frame.addr3 is not None:
+        parts.append(frame.addr3.to_bytes())
+    if frame.seq is not None:
+        parts.append(struct.pack("<H", frame.seq))
+    parts.append(frame.body)
+    return append_fcs(b"".join(parts))
+
+
+def frame_from_bytes(raw: bytes, verify_fcs: bool = True) -> Frame:
+    """Decode bytes back into a :class:`Frame`.
+
+    Raises :class:`FrameParseError` on truncation, unknown type codes, or —
+    when ``verify_fcs`` — FCS mismatch.  Corrupted captures typically fail
+    here and stay byte-blobs in the pipeline, as in the real system where
+    "these frames are not directly used for any higher-layer
+    reconstruction" (Section 4.2).
+    """
+    if verify_fcs and not check_fcs(raw):
+        raise FrameParseError("FCS check failed")
+    return frame_from_capture(raw[:-4])
+
+
+def frame_from_capture(data: bytes) -> Frame:
+    """Decode a *FCS-stripped, possibly payload-truncated* capture.
+
+    The capture pipeline snaps frames to 200 payload bytes (Section 5), so
+    a long DATA frame's trailing body — and its FCS — are absent from the
+    record.  Header fields and the leading payload bytes are what the
+    reconstruction consumes, and those parse fine from the snap.
+    """
+    if len(data) < _HEADER.size + 6:
+        raise FrameParseError("frame too short")
+    wire_type, flags, duration = _HEADER.unpack_from(data, 0)
+    if wire_type >= len(_WIRE_TYPES):
+        raise FrameParseError(f"unknown frame type code {wire_type}")
+    offset = _HEADER.size
+    try:
+        addr1 = MacAddress.from_bytes(data[offset:offset + 6])
+        offset += 6
+        addr2: Optional[MacAddress] = None
+        if flags & _FLAG_HAS_ADDR2:
+            addr2 = MacAddress.from_bytes(data[offset:offset + 6])
+            offset += 6
+        addr3: Optional[MacAddress] = None
+        if flags & _FLAG_HAS_ADDR3:
+            addr3 = MacAddress.from_bytes(data[offset:offset + 6])
+            offset += 6
+        seq: Optional[int] = None
+        if flags & _FLAG_HAS_SEQ:
+            (seq,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+    except (ValueError, struct.error) as exc:
+        raise FrameParseError(str(exc)) from exc
+
+    body = data[offset:]
+    try:
+        return Frame(
+            ftype=_WIRE_TYPES[wire_type],
+            addr1=addr1,
+            addr2=addr2,
+            addr3=addr3,
+            duration_us=duration,
+            seq=seq,
+            retry=bool(flags & _FLAG_RETRY),
+            to_ds=bool(flags & _FLAG_TO_DS),
+            from_ds=bool(flags & _FLAG_FROM_DS),
+            body=body,
+        )
+    except ValueError as exc:
+        raise FrameParseError(str(exc)) from exc
+
+
+def transmitter_from_corrupt_bytes(raw: bytes) -> Optional[MacAddress]:
+    """Best-effort transmitter-address extraction from a damaged capture.
+
+    For partially received or corrupted frames Jigsaw "simply matches on the
+    transmitter's address field" (Section 4.2).  The address survives when
+    the damage lies beyond the header, which is the common case for long
+    data frames.
+    """
+    if len(raw) < _HEADER.size + 12:
+        return None
+    _, flags, _ = _HEADER.unpack_from(raw, 0)
+    if not flags & _FLAG_HAS_ADDR2:
+        return None
+    offset = _HEADER.size + 6
+    try:
+        return MacAddress.from_bytes(raw[offset:offset + 6])
+    except ValueError:
+        return None

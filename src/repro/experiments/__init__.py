@@ -1,0 +1,17 @@
+"""One module per paper table/figure; see DESIGN.md's experiment index."""
+
+from .common import (
+    ExperimentRun,
+    building_config,
+    get_building_run,
+    get_small_run,
+    small_config,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "building_config",
+    "get_building_run",
+    "get_small_run",
+    "small_config",
+]

@@ -1,0 +1,79 @@
+"""Experiment P1 — the Section 4 efficiency requirement.
+
+"To permit online applications, trace merging should execute faster than
+real-time and scale well as a function of the number of radios.  Thus, we
+prefer an algorithm that can merge traces in a single pass over the data."
+
+The check: unify a building-scale trace and compare wall-clock merge time
+against the simulated trace duration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.sync.bootstrap import bootstrap_synchronization
+from ..core.unify.unifier import Unifier
+from .common import ExperimentRun, get_building_run
+
+
+@dataclass
+class MergePerformance:
+    trace_duration_s: float
+    merge_seconds: float
+    records: int
+    jframes: int
+
+    @property
+    def realtime_factor(self) -> float:
+        """>1 means faster than real time."""
+        if self.merge_seconds == 0:
+            return float("inf")
+        return self.trace_duration_s / self.merge_seconds
+
+    @property
+    def records_per_second(self) -> float:
+        if self.merge_seconds == 0:
+            return float("inf")
+        return self.records / self.merge_seconds
+
+    def format_table(self) -> str:
+        return "\n".join(
+            [
+                f"trace duration:    {self.trace_duration_s:.1f} s simulated",
+                f"merge time:        {self.merge_seconds:.2f} s wall clock",
+                f"records merged:    {self.records:,}",
+                f"jframes produced:  {self.jframes:,}",
+                f"records/second:    {self.records_per_second:,.0f}",
+                f"real-time factor:  {self.realtime_factor:.2f}x "
+                f"(paper requirement: > 1)",
+            ]
+        )
+
+
+def run_merge_performance(run: ExperimentRun = None) -> MergePerformance:
+    run = run or get_building_run()
+    traces = run.artifacts.radio_traces
+    bootstrap = bootstrap_synchronization(
+        traces, clock_groups=run.artifacts.clock_groups()
+    )
+    started = time.perf_counter()
+    result = Unifier().unify(traces, bootstrap)
+    elapsed = time.perf_counter() - started
+    return MergePerformance(
+        trace_duration_s=run.duration_us / 1e6,
+        merge_seconds=elapsed,
+        records=result.stats.records_in,
+        jframes=result.stats.jframes,
+    )
+
+
+def main() -> None:
+    perf = run_merge_performance()
+    print("=== Merge performance (Section 4 requirement) ===")
+    print(perf.format_table())
+
+
+if __name__ == "__main__":
+    main()

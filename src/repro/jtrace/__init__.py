@@ -1,0 +1,16 @@
+"""Trace format substrate (the jigdump analogue)."""
+
+from .io import RadioTrace, read_trace, read_traces, write_trace, write_traces
+from .records import RecordKind, TraceRecord, record_from_bytes, record_to_bytes
+
+__all__ = [
+    "RadioTrace",
+    "read_trace",
+    "read_traces",
+    "write_trace",
+    "write_traces",
+    "RecordKind",
+    "TraceRecord",
+    "record_from_bytes",
+    "record_to_bytes",
+]

@@ -1,0 +1,119 @@
+"""Trace records — the jigdump analogue.
+
+Each monitor radio produces a stream of :class:`TraceRecord`: one per
+physical event it observed.  Mirroring the modified MadWifi driver of
+Section 3.3, the stream includes not just valid frames but "all available
+physical layer events, including corrupted frames and physical errors", and
+payloads are snapped to 200 bytes (Section 5).
+
+``truth_txid`` carries the simulator's ground-truth transmission id.  The
+real system has no such field — it exists so the evaluation can score
+Jigsaw's output against an oracle, and the Jigsaw pipeline itself is
+forbidden from reading it (enforced by convention and exercised by tests
+that scramble it).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dot11.constants import CAPTURE_SNAP_BYTES
+
+
+class RecordKind(enum.Enum):
+    VALID = 1        # FCS-good frame capture
+    CORRUPT = 2      # frame capture with FCS failure (CRC error)
+    PHY_ERROR = 3    # energy detected, no frame lock
+
+    @property
+    def has_frame(self) -> bool:
+        return self is not RecordKind.PHY_ERROR
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured physical event at one radio."""
+
+    radio_id: int
+    timestamp_us: int            # local clock, integer microseconds
+    kind: RecordKind
+    channel: int
+    rate_mbps: float
+    rssi_dbm: float
+    frame_len: int               # full on-air length, bytes
+    fcs: int                     # FCS field as captured (32 bits)
+    snap: bytes                  # frame bytes, truncated to the snap length
+    duration_us: int             # airtime occupied by this event
+    truth_txid: int = 0          # simulator oracle only — never read by Jigsaw
+
+    def __post_init__(self) -> None:
+        if len(self.snap) > CAPTURE_SNAP_BYTES + 64:
+            raise ValueError("snap exceeds capture limit")
+        if self.kind is RecordKind.PHY_ERROR and self.snap:
+            raise ValueError("PHY error records carry no frame bytes")
+
+    @property
+    def is_valid_frame(self) -> bool:
+        return self.kind is RecordKind.VALID
+
+
+_HEADER = struct.Struct("<HqBBHhHIIHq")
+# radio_id, timestamp, kind, channel, rate*10, rssi, frame_len, fcs,
+# reserved(truth high bits live in the trailing q), snap_len, truth_txid
+
+
+def record_to_bytes(record: TraceRecord) -> bytes:
+    header = _HEADER.pack(
+        record.radio_id,
+        record.timestamp_us,
+        record.kind.value,
+        record.channel,
+        int(round(record.rate_mbps * 10)),
+        int(round(record.rssi_dbm)),
+        record.frame_len,
+        record.fcs,
+        record.duration_us,
+        len(record.snap),
+        record.truth_txid,
+    )
+    return header + record.snap
+
+
+def record_from_bytes(raw: bytes, offset: int = 0) -> tuple:
+    """Decode one record; returns ``(record, next_offset)``."""
+    if len(raw) - offset < _HEADER.size:
+        raise ValueError("truncated record header")
+    (
+        radio_id,
+        timestamp,
+        kind,
+        channel,
+        rate_x10,
+        rssi,
+        frame_len,
+        fcs,
+        duration,
+        snap_len,
+        truth_txid,
+    ) = _HEADER.unpack_from(raw, offset)
+    start = offset + _HEADER.size
+    end = start + snap_len
+    if len(raw) < end:
+        raise ValueError("truncated record payload")
+    record = TraceRecord(
+        radio_id=radio_id,
+        timestamp_us=timestamp,
+        kind=RecordKind(kind),
+        channel=channel,
+        rate_mbps=rate_x10 / 10.0,
+        rssi_dbm=float(rssi),
+        frame_len=frame_len,
+        fcs=fcs,
+        snap=raw[start:end],
+        duration_us=duration,
+        truth_txid=truth_txid,
+    )
+    return record, end

@@ -1,0 +1,19 @@
+"""802.11 MAC substrate: medium, DCF, stations, access points."""
+
+from .ap import AccessPoint, ClientState
+from .dcf import Dcf, TxJob
+from .medium import Medium, Receiver, Transmission
+from .station import Station, WirelessInterface, select_rate
+
+__all__ = [
+    "AccessPoint",
+    "ClientState",
+    "Dcf",
+    "TxJob",
+    "Medium",
+    "Receiver",
+    "Transmission",
+    "Station",
+    "WirelessInterface",
+    "select_rate",
+]

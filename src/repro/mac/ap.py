@@ -1,0 +1,192 @@
+"""Access points.
+
+APs beacon every ~100 ms, answer probes, run the association handshake,
+bridge between the wired distribution network and the air, relay wired
+broadcasts (at the lowest rate, on every AP at roughly the same time — the
+inefficiency Section 7.1 quantifies), and implement the 802.11g protection
+policy whose over-conservatism Section 7.3 analyzes:
+
+    "An AP will not turn off protection until an hour has passed without
+    sensing an 802.11b client in range."
+
+The timeout is a scenario parameter so the Figure 10 experiment can compare
+the production policy (1 hour) against the paper's practical one (1 minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dot11.address import MacAddress
+from ..dot11.channels import Channel
+from ..dot11.constants import BEACON_INTERVAL_US
+from ..dot11.frame import (
+    Frame,
+    FrameType,
+    frame_marks_cck_only,
+    make_assoc_response,
+    make_auth,
+    make_beacon,
+    make_data,
+    make_probe_response,
+)
+from ..dot11.rates import B_RATES, G_RATES, PhyRate, RATE_1
+from ..phy.propagation import Point
+from ..sim.kernel import Kernel
+from .dcf import TxJob
+from .medium import Medium, Transmission
+from .station import WirelessInterface, select_rate
+
+
+@dataclass
+class ClientState:
+    """What the AP knows about one associated client."""
+
+    supports_ofdm: bool
+    rssi_dbm: float
+    associated: bool = False
+
+
+class AccessPoint(WirelessInterface):
+    """One production AP bridging the air and the wired network."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        medium: Medium,
+        mac: MacAddress,
+        position: Point,
+        channel: Channel,
+        tx_power_dbm: float,
+        rng: np.random.Generator,
+        protection_timeout_us: int,
+        ssid: str = "jigsaw",
+    ) -> None:
+        super().__init__(
+            kernel, medium, mac, position, channel, tx_power_dbm, rng,
+            supports_ofdm=True,
+        )
+        self.ssid = ssid
+        self.protection_timeout_us = protection_timeout_us
+        self.clients: Dict[MacAddress, ClientState] = {}
+        #: True-time of the last sensed 802.11b client; None = never.
+        self.last_11b_seen_us: Optional[int] = None
+        #: Uplink bridge hook, installed by the wired network.
+        self.uplink_sink: Optional[Callable[[MacAddress, bytes], None]] = None
+        # Stagger beacon phases so co-channel APs do not beacon in lockstep.
+        phase = int(rng.integers(0, BEACON_INTERVAL_US))
+        kernel.at(phase, self._beacon_tick)
+
+    # --- protection policy --------------------------------------------------
+
+    @property
+    def protection_enabled(self) -> bool:
+        """Whether CTS-to-self protection is currently on (Section 7.3)."""
+        if self.last_11b_seen_us is None:
+            return False
+        return (
+            self.kernel.now_us - self.last_11b_seen_us
+            < self.protection_timeout_us
+        )
+
+    def _note_possible_11b(self, frame: Frame) -> None:
+        if frame_marks_cck_only(frame):
+            self.last_11b_seen_us = self.kernel.now_us
+            return
+        sender = frame.addr2
+        if sender is not None:
+            state = self.clients.get(sender)
+            if state is not None and not state.supports_ofdm:
+                self.last_11b_seen_us = self.kernel.now_us
+
+    # --- beaconing ---------------------------------------------------------------
+
+    def _beacon_tick(self) -> None:
+        beacon = make_beacon(
+            self.mac,
+            self.next_seq(),
+            ssid=self.ssid,
+            protection=self.protection_enabled,
+        )
+        self.dcf.enqueue(TxJob(beacon, RATE_1))
+        self.kernel.after(BEACON_INTERVAL_US, self._beacon_tick)
+
+    # --- frame handling -------------------------------------------------------------
+
+    def handle_frame(self, frame: Frame, rssi_dbm: float, tx: Transmission) -> None:
+        self._note_possible_11b(frame)
+        if frame.ftype is FrameType.AUTH:
+            assert frame.addr2 is not None
+            reply = make_auth(self.mac, frame.addr2, self.next_seq(), step=2)
+            self.dcf.enqueue(TxJob(reply, self._client_rate(frame.addr2, mgmt=True)))
+        elif frame.ftype is FrameType.ASSOC_REQUEST:
+            assert frame.addr2 is not None
+            supports_ofdm = not frame_marks_cck_only(frame)
+            self.clients[frame.addr2] = ClientState(
+                supports_ofdm=supports_ofdm,
+                rssi_dbm=rssi_dbm,
+                associated=True,
+            )
+            if not supports_ofdm:
+                self.last_11b_seen_us = self.kernel.now_us
+            reply = make_assoc_response(self.mac, frame.addr2, self.next_seq())
+            self.dcf.enqueue(TxJob(reply, self._client_rate(frame.addr2, mgmt=True)))
+        elif frame.ftype is FrameType.DATA and frame.to_ds:
+            assert frame.addr2 is not None
+            state = self.clients.get(frame.addr2)
+            if state is not None:
+                state.rssi_dbm = rssi_dbm
+            if self.uplink_sink is not None:
+                self.uplink_sink(frame.addr2, frame.body)
+
+    def handle_overheard(
+        self, frame: Frame, rssi_dbm: float, tx: Transmission
+    ) -> None:
+        self._note_possible_11b(frame)
+        if frame.ftype is FrameType.PROBE_REQUEST and frame.addr2 is not None:
+            response = make_probe_response(
+                self.mac, frame.addr2, self.next_seq(), ssid=self.ssid
+            )
+            self.dcf.enqueue(TxJob(response, RATE_1))
+
+    # --- downlink -----------------------------------------------------------------
+
+    def _client_rate(self, client: MacAddress, mgmt: bool = False) -> PhyRate:
+        state = self.clients.get(client)
+        if state is None:
+            return RATE_1
+        if mgmt or not state.supports_ofdm:
+            return select_rate(state.rssi_dbm, B_RATES)
+        return select_rate(state.rssi_dbm, G_RATES)
+
+    def send_downlink(self, client: MacAddress, payload: bytes) -> bool:
+        """Bridge one wired packet onto the air toward ``client``."""
+        state = self.clients.get(client)
+        if state is None or not state.associated:
+            return False
+        rate = self._client_rate(client)
+        frame = make_data(
+            self.mac, client, self.mac,
+            seq=self.next_seq(), body=payload, from_ds=True,
+        )
+        protect = rate.is_ofdm and self.protection_enabled
+        return self.dcf.enqueue(TxJob(frame, rate, protect=protect))
+
+    def send_broadcast(self, payload: bytes) -> None:
+        """Relay a wired broadcast onto the air.
+
+        "Because 802.11 APs are designed to act as transparent bridges all
+        ARP 'who-has' broadcasts from the wired network are also broadcast
+        on the wireless channel ... always encoded at the lowest rate"
+        (Section 7.1).
+        """
+        from ..dot11.address import BROADCAST
+
+        frame = make_data(
+            self.mac, BROADCAST, self.mac,
+            seq=self.next_seq(), body=payload, from_ds=True,
+        )
+        self.dcf.enqueue(TxJob(frame, RATE_1))

@@ -1,0 +1,223 @@
+"""The shared wireless medium.
+
+"Wireless is fundamentally a broadcast channel, multiple in-range receivers
+can potentially record each transmission" (Section 4) — this module is that
+channel.  Every transmission is delivered to every attached receiver whose
+channel overlaps, with per-receiver RSSI from the propagation model and
+per-receiver interference from whatever else was on the air at the same
+time.  Because "propagation delay is effectively instantaneous", all
+receivers see a transmission at the same true time, exactly the assumption
+Jigsaw's synchronization builds on.
+
+The medium also doubles as the simulation's ground truth: it keeps the
+authoritative list of every transmission ever made, which the coverage and
+interference experiments compare Jigsaw's output against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..dot11.channels import Channel
+from ..dot11.frame import Frame
+from ..dot11.rates import PhyRate
+from ..phy.noisefloor import BroadbandInterferer, ambient_interference_dbm
+from ..phy.propagation import Point, PropagationModel
+from ..phy.reception import CARRIER_SENSE_DBM
+from ..sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One physical transmission: a frame on the air.
+
+    ``txid`` is a globally unique ground-truth identifier; the evaluation
+    joins monitor captures back to transmissions through it (the real system
+    has no such oracle — that is the point of building one).
+    """
+
+    txid: int
+    frame: Frame
+    frame_bytes: bytes
+    rate: PhyRate
+    channel: Channel
+    start_us: int
+    duration_us: int
+    tx_position: Point
+    tx_power_dbm: float
+    transmitter_id: str
+
+    @property
+    def end_us(self) -> int:
+        return self.start_us + self.duration_us
+
+    def overlaps(self, other: "Transmission") -> bool:
+        return self.start_us < other.end_us and other.start_us < self.end_us
+
+
+class Receiver(Protocol):
+    """Anything attached to the medium: stations, APs, monitor radios."""
+
+    position: Point
+    channel: Channel
+
+    def on_air_event(
+        self,
+        tx: Transmission,
+        rssi_dbm: float,
+        interferer_levels_dbm: Tuple[float, ...],
+    ) -> None:
+        """Called at transmission end with receiver-local signal levels."""
+
+
+class Medium:
+    """Per-building broadcast medium across all channels."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        propagation: PropagationModel,
+        interferers: Sequence[BroadbandInterferer] = (),
+    ) -> None:
+        self._kernel = kernel
+        self._propagation = propagation
+        self._interferers = tuple(interferers)
+        self._receivers: List[Receiver] = []
+        self._active: List[Transmission] = []
+        #: Transmissions that ended recently; kept one max-frame-time back
+        #: so late-starting overlaps still see them as interferers.
+        self._recent: List[Transmission] = []
+        self._txid = itertools.count(1)
+        #: Ground truth: every transmission, in start order.
+        self.history: List[Transmission] = []
+
+    # --- attachment -----------------------------------------------------
+
+    def attach(self, receiver: Receiver) -> None:
+        self._receivers.append(receiver)
+
+    @property
+    def propagation(self) -> PropagationModel:
+        return self._propagation
+
+    # --- transmission ----------------------------------------------------
+
+    def transmit(
+        self,
+        frame: Frame,
+        frame_bytes: bytes,
+        rate: PhyRate,
+        channel: Channel,
+        position: Point,
+        power_dbm: float,
+        transmitter_id: str,
+        sender: Optional[Receiver] = None,
+    ) -> Transmission:
+        """Put a frame on the air now; deliveries fire at transmission end."""
+        from ..dot11.rates import frame_airtime_us
+
+        duration = frame_airtime_us(frame.size_bytes, rate)
+        tx = Transmission(
+            txid=next(self._txid),
+            frame=frame,
+            frame_bytes=frame_bytes,
+            rate=rate,
+            channel=channel,
+            start_us=self._kernel.now_us,
+            duration_us=duration,
+            tx_position=position,
+            tx_power_dbm=power_dbm,
+            transmitter_id=transmitter_id,
+        )
+        self._active.append(tx)
+        self.history.append(tx)
+        self._kernel.at(tx.end_us, lambda: self._complete(tx, sender))
+        return tx
+
+    def _complete(self, tx: Transmission, sender: Optional[Receiver]) -> None:
+        self._active.remove(tx)
+        self._recent.append(tx)
+        self._gc_recent()
+        overlapping = [
+            other
+            for other in itertools.chain(self._active, self._recent)
+            if other is not tx and other.overlaps(tx)
+        ]
+        for receiver in self._receivers:
+            if receiver is sender:
+                continue
+            coupling = receiver.channel.overlap_fraction(tx.channel)
+            if coupling <= 0.0:
+                continue
+            rssi = self._rssi_at(tx, receiver.position, coupling)
+            interference = self._interference_at(
+                tx, overlapping, receiver, sender
+            )
+            receiver.on_air_event(tx, rssi, interference)
+
+    def _rssi_at(self, tx: Transmission, rx: Point, coupling: float) -> float:
+        rssi = self._propagation.rssi_dbm(tx.tx_power_dbm, tx.tx_position, rx)
+        if coupling < 1.0:
+            rssi += 10.0 * math.log10(coupling)
+        return rssi
+
+    def _interference_at(
+        self,
+        tx: Transmission,
+        overlapping: Sequence[Transmission],
+        receiver: Receiver,
+        sender: Optional[Receiver],
+    ) -> Tuple[float, ...]:
+        levels = []
+        for other in overlapping:
+            coupling = receiver.channel.overlap_fraction(other.channel)
+            if coupling <= 0.0:
+                continue
+            levels.append(self._rssi_at(other, receiver.position, coupling))
+        levels.extend(
+            ambient_interference_dbm(
+                self._interferers,
+                tx.start_us,
+                receiver.position,
+                self._propagation,
+            )
+        )
+        return tuple(levels)
+
+    def _gc_recent(self) -> None:
+        horizon = self._kernel.now_us - 20_000
+        self._recent = [t for t in self._recent if t.end_us >= horizon]
+
+    # --- carrier sense ----------------------------------------------------
+
+    def busy_until(
+        self,
+        channel: Channel,
+        position: Point,
+        threshold_dbm: float = CARRIER_SENSE_DBM,
+    ) -> int:
+        """Latest end time of any on-air transmission audible at ``position``.
+
+        Position-dependent: a distant transmitter below the carrier-sense
+        threshold is invisible here — the hidden-terminal situation whose
+        interference Section 7.2 quantifies.
+        """
+        latest = 0
+        for tx in self._active:
+            coupling = channel.overlap_fraction(tx.channel)
+            if coupling <= 0.0:
+                continue
+            if self._rssi_at(tx, position, coupling) >= threshold_dbm:
+                latest = max(latest, tx.end_us)
+        return latest
+
+    def is_busy(
+        self,
+        channel: Channel,
+        position: Point,
+        threshold_dbm: float = CARRIER_SENSE_DBM,
+    ) -> bool:
+        return self.busy_until(channel, position, threshold_dbm) > self._kernel.now_us

@@ -1,0 +1,18 @@
+"""Measurement infrastructure substrate: clocks, monitor radios, pods."""
+
+from .clock import PerfectClock, RadioClock
+from .radio import (
+    DEFAULT_MONITOR_CHANNELS,
+    MonitorRadio,
+    SensorPod,
+    build_pod,
+)
+
+__all__ = [
+    "PerfectClock",
+    "RadioClock",
+    "DEFAULT_MONITOR_CHANNELS",
+    "MonitorRadio",
+    "SensorPod",
+    "build_pod",
+]

@@ -1,0 +1,94 @@
+"""Per-monitor capture clocks: offset, skew, and drift.
+
+"Atheros hardware uses a 1 us resolution clock to timestamp each packet as
+it is received" and "each radio's clock skews over time.  The 802.11
+standard mandates an accuracy of at least 100 PPM (0.01%) and our
+experience is that Atheros hardware has far better frequency stability in
+practice.  However, even good clocks eventually diverge." (Sections 3.3,
+4.2.)  Jigsaw additionally compensates *drift* — "the change in skew over
+time" — so the clock model includes all three error terms:
+
+    local(t) = offset + integral over [0, t] of (1 + skew(s)/1e6) ds
+
+where ``skew(s)`` performs a bounded random walk, stepping once per update
+interval.  One :class:`RadioClock` is shared by both radios of a monitor
+("our driver slaves this timestamp facility to the clock of a single
+radio"), which is what lets Jigsaw bridge synchronization across channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.scenario import ClockConfig
+
+
+class RadioClock:
+    """An imperfect 1 us capture clock.
+
+    Queries must be made with non-decreasing true time — which holds for
+    trace capture, where records arrive in time order.
+    """
+
+    def __init__(self, rng: np.random.Generator, config: ClockConfig) -> None:
+        self._config = config
+        self._rng = rng
+        self.offset_us = float(
+            rng.uniform(-config.offset_spread_us, config.offset_spread_us)
+        )
+        skew = float(rng.normal(0.0, config.skew_ppm_sigma))
+        self.initial_skew_ppm = float(
+            np.clip(skew, -config.max_skew_ppm, config.max_skew_ppm)
+        )
+        self._skew_ppm = self.initial_skew_ppm
+        self._segment_start_true_us = 0.0
+        self._segment_start_local_us = self.offset_us
+        self._next_update_true_us = float(config.update_interval_us)
+        self._last_query_us = -1.0
+
+    @property
+    def current_skew_ppm(self) -> float:
+        return self._skew_ppm
+
+    def local_time_us(self, true_us: int) -> int:
+        """Map true simulation time to this clock's local timestamp."""
+        if true_us < self._last_query_us:
+            raise ValueError(
+                f"clock queried backwards: {true_us} < {self._last_query_us}"
+            )
+        self._last_query_us = float(true_us)
+        while true_us >= self._next_update_true_us:
+            self._advance_segment()
+        elapsed = true_us - self._segment_start_true_us
+        local = self._segment_start_local_us + elapsed * (
+            1.0 + self._skew_ppm * 1e-6
+        )
+        return int(round(local))
+
+    def _advance_segment(self) -> None:
+        """Close the current skew segment and step the drift random walk."""
+        interval = float(self._config.update_interval_us)
+        self._segment_start_local_us += interval * (1.0 + self._skew_ppm * 1e-6)
+        self._segment_start_true_us = self._next_update_true_us
+        self._next_update_true_us += interval
+        step = float(
+            self._rng.normal(0.0, self._config.drift_ppm_per_s_sigma)
+        ) * (interval / 1e6)
+        self._skew_ppm = float(
+            np.clip(
+                self._skew_ppm + step,
+                -self._config.max_skew_ppm,
+                self._config.max_skew_ppm,
+            )
+        )
+
+
+class PerfectClock:
+    """A zero-error clock, for ablations and algorithm unit tests."""
+
+    offset_us = 0.0
+    initial_skew_ppm = 0.0
+    current_skew_ppm = 0.0
+
+    def local_time_us(self, true_us: int) -> int:
+        return int(true_us)

@@ -1,0 +1,41 @@
+"""Network-layer substrate: packets, ARP sources, the wired network."""
+
+from .arp import ScanArpSource, VernierTracker, make_who_has
+from .packets import (
+    ArpPacket,
+    IpPacket,
+    IpProto,
+    PacketParseError,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+    arp_to_bytes,
+    format_ip,
+    ip_to_bytes,
+    packet_from_bytes,
+    parse_ip,
+    try_parse_packet,
+)
+from .wired import WiredHost, WiredNetwork, WiredTraceRecord
+
+__all__ = [
+    "ScanArpSource",
+    "VernierTracker",
+    "make_who_has",
+    "ArpPacket",
+    "IpPacket",
+    "IpProto",
+    "PacketParseError",
+    "TcpFlags",
+    "TcpSegment",
+    "UdpDatagram",
+    "arp_to_bytes",
+    "format_ip",
+    "ip_to_bytes",
+    "packet_from_bytes",
+    "parse_ip",
+    "try_parse_packet",
+    "WiredHost",
+    "WiredNetwork",
+    "WiredTraceRecord",
+]

@@ -1,0 +1,104 @@
+"""ARP broadcast sources.
+
+Section 7.1 finds that "the largest source of ARP is due to an 802.11
+management server from Vernier that uses regular ARPs to track the liveness
+and network location of registered clients", with additional who-has probes
+from "outside scans and worms ... as they probe unallocated IP address
+space".  Both sources are modelled here; their output feeds
+:meth:`WiredNetwork.broadcast`, which relays them through every AP at the
+lowest rate — the broadcast-airtime inefficiency the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim.kernel import Kernel
+from .packets import ArpPacket, arp_to_bytes
+from .wired import WiredNetwork
+
+_ZERO_MAC = b"\x00" * 6
+
+
+def make_who_has(sender_ip: int, target_ip: int, sender_mac: bytes) -> ArpPacket:
+    return ArpPacket(
+        op=1,
+        sender_mac=sender_mac,
+        sender_ip=sender_ip,
+        target_mac=_ZERO_MAC,
+        target_ip=target_ip,
+    )
+
+
+class VernierTracker:
+    """The management server's liveness ARP sweep.
+
+    Cycles through registered client IPs, emitting one who-has broadcast per
+    ``interval_us``.  The rate therefore "scales with the size of the
+    network or the size of the user population while the capacity of the
+    channel remains constant" — the paper's core complaint.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        wired: WiredNetwork,
+        client_ips: Sequence[int],
+        interval_us: int,
+        server_ip: int,
+        server_mac: bytes = b"\x00\x0e\x0e\x00\x00\x01",
+    ) -> None:
+        self._kernel = kernel
+        self._wired = wired
+        self._client_ips: List[int] = list(client_ips)
+        self._interval_us = interval_us
+        self._server_ip = server_ip
+        self._server_mac = server_mac
+        self._cursor = 0
+        self.broadcasts_sent = 0
+        if self._client_ips:
+            kernel.after(interval_us, self._tick)
+
+    def _tick(self) -> None:
+        target = self._client_ips[self._cursor % len(self._client_ips)]
+        self._cursor += 1
+        packet = make_who_has(self._server_ip, target, self._server_mac)
+        self._wired.broadcast(arp_to_bytes(packet))
+        self.broadcasts_sent += 1
+        self._kernel.after(self._interval_us, self._tick)
+
+
+class ScanArpSource:
+    """Outside scans/worms probing unallocated address space."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        wired: WiredNetwork,
+        rng: np.random.Generator,
+        mean_interval_us: int,
+        subnet_base: int = 0x0A_00_00_00,
+    ) -> None:
+        self._kernel = kernel
+        self._wired = wired
+        self._rng = rng
+        self._mean_interval_us = mean_interval_us
+        self._subnet_base = subnet_base
+        self.broadcasts_sent = 0
+        kernel.after(self._next_gap(), self._tick)
+
+    def _next_gap(self) -> int:
+        return max(1, int(self._rng.exponential(self._mean_interval_us)))
+
+    def _tick(self) -> None:
+        target = self._subnet_base | int(self._rng.integers(1, 0xFFFF))
+        packet = make_who_has(
+            sender_ip=self._subnet_base | 0xFFFE,
+            target_ip=target,
+            sender_mac=b"\x00\x0e\x0e\xff\xff\xfe",
+        )
+        self._wired.broadcast(arp_to_bytes(packet))
+        self.broadcasts_sent += 1
+        self._kernel.after(self._next_gap(), self._tick)

@@ -1,0 +1,208 @@
+"""Minimal network-layer packet model: IPv4, TCP, UDP, ARP.
+
+The transport reconstruction parses these out of the <=200-byte payload
+snapshots the capture pipeline keeps ("each frame contains up to 200 bytes
+of payload that can be used to identify MAC addresses, IP addresses and TCP
+port numbers" — Section 5).  The wire format is a compact fixed layout, not
+RFC 791/793 bit-for-bit, but it carries every field the algorithms use:
+addresses, ports, sequence/ack numbers, flags, and payload length.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class IpProto(enum.IntEnum):
+    TCP = 6
+    UDP = 17
+
+
+class TcpFlags(enum.IntFlag):
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+_IP_HEADER = struct.Struct("<4sIIBH")  # magic, src, dst, proto, payload_len
+_TCP_HEADER = struct.Struct("<HHIIBH")  # sport, dport, seq, ack, flags, len
+_UDP_HEADER = struct.Struct("<HHH")     # sport, dport, len
+_ARP_HEADER = struct.Struct("<4sB6sI6sI")  # magic, op, sha, spa, tha, tpa
+
+_IP_MAGIC = b"IPv4"
+_ARP_MAGIC = b"ARP!"
+
+
+def format_ip(addr: int) -> str:
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ip(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment: header plus the *length* of its payload.
+
+    We never materialize payload bytes — only their count matters to both
+    the endpoints and the reconstruction (sequence arithmetic).
+    """
+
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    payload_len: int = 0
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def seq_end(self) -> int:
+        """Sequence number after this segment (SYN/FIN consume one)."""
+        length = self.payload_len
+        if self.flags & (TcpFlags.SYN | TcpFlags.FIN):
+            length += 1
+        return (self.seq + length) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    sport: int
+    dport: int
+    payload_len: int = 0
+
+
+@dataclass(frozen=True)
+class IpPacket:
+    """An IPv4 packet wrapping a TCP segment or UDP datagram."""
+
+    src: int
+    dst: int
+    payload: Union[TcpSegment, UdpDatagram]
+
+    @property
+    def proto(self) -> IpProto:
+        if isinstance(self.payload, TcpSegment):
+            return IpProto.TCP
+        return IpProto.UDP
+
+    @property
+    def total_payload_len(self) -> int:
+        return self.payload.payload_len
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP message (op 1 = who-has request, 2 = reply)."""
+
+    op: int
+    sender_mac: bytes
+    sender_ip: int
+    target_mac: bytes
+    target_ip: int
+
+    @property
+    def is_request(self) -> bool:
+        return self.op == 1
+
+
+class PacketParseError(ValueError):
+    """Raised when bytes cannot be decoded into a network packet."""
+
+
+def ip_to_bytes(packet: IpPacket) -> bytes:
+    header = _IP_HEADER.pack(
+        _IP_MAGIC, packet.src, packet.dst, int(packet.proto),
+        packet.total_payload_len,
+    )
+    if isinstance(packet.payload, TcpSegment):
+        seg = packet.payload
+        body = _TCP_HEADER.pack(
+            seg.sport, seg.dport, seg.seq, seg.ack, int(seg.flags),
+            seg.payload_len,
+        )
+    else:
+        udp = packet.payload
+        body = _UDP_HEADER.pack(udp.sport, udp.dport, udp.payload_len)
+    # Payload bytes are represented by a deterministic filler so captures
+    # have realistic lengths without storing real content.
+    filler = b"\xda" * min(packet.total_payload_len, 64)
+    return header + body + filler
+
+
+def arp_to_bytes(packet: ArpPacket) -> bytes:
+    return _ARP_HEADER.pack(
+        _ARP_MAGIC, packet.op,
+        packet.sender_mac, packet.sender_ip,
+        packet.target_mac, packet.target_ip,
+    )
+
+
+def packet_from_bytes(raw: bytes) -> Union[IpPacket, ArpPacket]:
+    """Decode a frame body back into a network packet.
+
+    Tolerates trailing truncation of payload filler (captures are snapped
+    to 200 bytes) but raises :class:`PacketParseError` when the headers
+    themselves are unreadable.
+    """
+    if raw[:4] == _ARP_MAGIC:
+        if len(raw) < _ARP_HEADER.size:
+            raise PacketParseError("truncated ARP")
+        _, op, sha, spa, tha, tpa = _ARP_HEADER.unpack_from(raw, 0)
+        return ArpPacket(op, sha, spa, tha, tpa)
+    if raw[:4] != _IP_MAGIC:
+        raise PacketParseError("not an IP or ARP packet")
+    if len(raw) < _IP_HEADER.size:
+        raise PacketParseError("truncated IP header")
+    _, src, dst, proto, payload_len = _IP_HEADER.unpack_from(raw, 0)
+    offset = _IP_HEADER.size
+    if proto == IpProto.TCP:
+        if len(raw) < offset + _TCP_HEADER.size:
+            raise PacketParseError("truncated TCP header")
+        sport, dport, seq, ack, flags, seg_len = _TCP_HEADER.unpack_from(
+            raw, offset
+        )
+        return IpPacket(
+            src, dst,
+            TcpSegment(sport, dport, seq, ack, TcpFlags(flags), seg_len),
+        )
+    if proto == IpProto.UDP:
+        if len(raw) < offset + _UDP_HEADER.size:
+            raise PacketParseError("truncated UDP header")
+        sport, dport, udp_len = _UDP_HEADER.unpack_from(raw, offset)
+        return IpPacket(src, dst, UdpDatagram(sport, dport, udp_len))
+    raise PacketParseError(f"unknown protocol {proto}")
+
+
+def try_parse_packet(raw: bytes) -> Optional[Union[IpPacket, ArpPacket]]:
+    """Parse, returning ``None`` instead of raising on undecodable bytes."""
+    try:
+        return packet_from_bytes(raw)
+    except (PacketParseError, struct.error):
+        return None

@@ -1,0 +1,38 @@
+"""Physical-layer substrate: propagation, reception, interference."""
+
+from .noisefloor import BroadbandInterferer, ambient_interference_dbm
+from .propagation import (
+    DEFAULT_PATH_LOSS_EXPONENT,
+    FLOOR_HEIGHT_M,
+    Point,
+    PropagationModel,
+    distance_m,
+)
+from .reception import (
+    CARRIER_SENSE_DBM,
+    DEFAULT_NOISE_FLOOR_DBM,
+    SENSITIVITY_DBM,
+    ReceptionModel,
+    ReceptionOutcome,
+    combine_power_dbm,
+    decode_probability,
+    sinr_db,
+)
+
+__all__ = [
+    "BroadbandInterferer",
+    "ambient_interference_dbm",
+    "DEFAULT_PATH_LOSS_EXPONENT",
+    "FLOOR_HEIGHT_M",
+    "Point",
+    "PropagationModel",
+    "distance_m",
+    "CARRIER_SENSE_DBM",
+    "DEFAULT_NOISE_FLOOR_DBM",
+    "SENSITIVITY_DBM",
+    "ReceptionModel",
+    "ReceptionOutcome",
+    "combine_power_dbm",
+    "decode_probability",
+    "sinr_db",
+]

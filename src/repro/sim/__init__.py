@@ -1,0 +1,36 @@
+"""Simulation substrate: kernel, building, scenarios, workload, runner."""
+
+from .building import Building, Placement, assign_channels, pod_reduction_order
+from .kernel import EventHandle, Kernel
+from .scenario import ClockConfig, ScenarioConfig, WorkloadConfig
+from .workload import FlowArchetype, FlowRequest, generate_flows
+
+__all__ = [
+    "Building",
+    "Placement",
+    "assign_channels",
+    "pod_reduction_order",
+    "EventHandle",
+    "Kernel",
+    "SimulationArtifacts",
+    "run_scenario",
+    "ClockConfig",
+    "ScenarioConfig",
+    "WorkloadConfig",
+    "FlowArchetype",
+    "FlowRequest",
+    "generate_flows",
+]
+
+_LAZY = ("SimulationArtifacts", "run_scenario")
+
+
+def __getattr__(name):
+    # The runner pulls in the MAC/monitor/TCP substrates, which themselves
+    # import scenario configuration from this package; loading it lazily
+    # keeps `repro.sim` import-light and breaks the cycle.
+    if name in _LAZY:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -1,0 +1,107 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: integer-microsecond clock, a binary
+heap of (time, tiebreak, callback) entries, and cancellable handles.  Every
+substrate (MAC, TCP endpoints, monitors, workload generator) schedules
+against one shared kernel, which is what lets the ground truth, the monitor
+captures, and the wired trace all line up on a single true timeline — the
+oracle the evaluation compares Jigsaw's reconstructed universal time
+against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    time_us: int
+    tiebreak: int
+    callback: Optional[Callable[[], None]] = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op when it already fired."""
+        self._entry.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.callback is None
+
+    @property
+    def time_us(self) -> int:
+        return self._entry.time_us
+
+
+class Kernel:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[_Entry] = []
+        self._counter = itertools.count()
+        self._now_us = 0
+        self._events_run = 0
+
+    @property
+    def now_us(self) -> int:
+        """Current simulation (true) time in integer microseconds."""
+        return self._now_us
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def at(self, time_us: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time_us``."""
+        if time_us < self._now_us:
+            raise ValueError(
+                f"cannot schedule in the past: {time_us} < {self._now_us}"
+            )
+        entry = _Entry(int(time_us), next(self._counter), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def after(self, delay_us: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` ``delay_us`` microseconds from now."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay: {delay_us}")
+        return self.at(self._now_us + int(delay_us), callback)
+
+    def run_until(self, end_us: int) -> None:
+        """Run events with time <= ``end_us``; leaves ``now_us`` at ``end_us``."""
+        while self._queue and self._queue[0].time_us <= end_us:
+            entry = heapq.heappop(self._queue)
+            if entry.callback is None:
+                continue
+            self._now_us = entry.time_us
+            callback, entry.callback = entry.callback, None
+            callback()
+            self._events_run += 1
+        self._now_us = max(self._now_us, end_us)
+
+    def run(self) -> None:
+        """Run until the queue drains."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.callback is None:
+                continue
+            self._now_us = entry.time_us
+            callback, entry.callback = entry.callback, None
+            callback()
+            self._events_run += 1
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if e.callback is not None)

@@ -1,0 +1,307 @@
+"""Scenario runner: build the world, run it, hand back every artifact.
+
+This is the substrate's top-level entry point.  Given a
+:class:`ScenarioConfig` it assembles the building, the production network
+(APs + clients + wired distribution), the monitoring infrastructure (pods
+of monitor radios with imperfect clocks), ARP broadcast sources, and the
+TCP workload; runs the discrete-event kernel; and returns a
+:class:`SimulationArtifacts` bundle containing
+
+* the 150+ per-radio monitor traces (Jigsaw's *input*),
+* the wired distribution-network trace (the Section 6 coverage oracle),
+* the medium's ground-truth transmission history and flow outcomes (the
+  oracle the evaluation scores reconstruction against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dot11.address import AP_OUI, CLIENT_OUI, MacAllocator
+from ..jtrace.io import RadioTrace
+from ..mac.ap import AccessPoint
+from ..mac.medium import Medium, Transmission
+from ..mac.station import Station
+from ..monitor.radio import SensorPod, build_pod
+from ..net.arp import ScanArpSource, VernierTracker
+from ..net.wired import WiredNetwork, WiredTraceRecord
+from ..phy.noisefloor import BroadbandInterferer
+from ..phy.propagation import PropagationModel
+from ..sim.building import (
+    Building,
+    Placement,
+    assign_channels,
+    pod_reduction_order,
+)
+from ..sim.kernel import Kernel
+from ..sim.scenario import ScenarioConfig
+from ..sim.workload import FlowRequest, generate_flows
+from ..tcp.driver import FlowDriver, FlowOutcome, HostStack, StationStack
+
+#: Wired-side IP plan.
+SERVER_IP_BASE = 0xAC_10_00_00      # 172.16.0.0/16: servers
+CLIENT_IP_BASE = 0x0A_00_00_00      # 10.0.0.0/16: wireless clients
+VERNIER_IP = SERVER_IP_BASE | 0xFFFF
+
+
+@dataclass
+class SimulationArtifacts:
+    """Everything a run produces, oracle included."""
+
+    config: ScenarioConfig
+    building: Building
+    medium: Medium
+    wired: WiredNetwork
+    aps: List[AccessPoint]
+    ap_placements: List[Placement]
+    stations: List[Station]
+    station_placements: List[Placement]
+    pods: List[SensorPod]
+    pod_placements: List[Placement]
+    flows: List[FlowRequest]
+    flow_outcomes: List[FlowOutcome]
+    events_run: int
+
+    @property
+    def radio_traces(self) -> List[RadioTrace]:
+        """The monitor traces — Jigsaw's input."""
+        return [radio.trace for pod in self.pods for radio in pod.radios]
+
+    @property
+    def ground_truth(self) -> List[Transmission]:
+        """Every transmission that ever hit the air, in true-time order."""
+        return self.medium.history
+
+    @property
+    def wired_trace(self) -> List[WiredTraceRecord]:
+        return self.wired.trace
+
+    def pod_reduction_order(self) -> List[int]:
+        """Pod indices in Figure 7 removal order (most redundant first)."""
+        return pod_reduction_order(self.pod_placements)
+
+    def radios_of_pods(self, pod_indices) -> List[int]:
+        """Radio ids belonging to the given pod indices."""
+        wanted = set(pod_indices)
+        return [
+            radio.radio_id
+            for index, pod in enumerate(self.pods)
+            if index in wanted
+            for radio in pod.radios
+        ]
+
+    def clock_groups(self) -> List[List[int]]:
+        """Radio ids sharing one capture clock (the two radios per monitor).
+
+        This is infrastructure metadata, not trace content: the real
+        deployment knows it from its driver configuration (Section 3.3),
+        and bootstrap synchronization uses it to bridge across channels.
+        """
+        groups: List[List[int]] = []
+        for pod in self.pods:
+            by_clock: Dict[int, List[int]] = {}
+            for radio in pod.radios:
+                by_clock.setdefault(id(radio.clock), []).append(radio.radio_id)
+            groups.extend(ids for ids in by_clock.values() if len(ids) > 1)
+        return groups
+
+
+def run_scenario(config: ScenarioConfig) -> SimulationArtifacts:
+    """Build and run one scenario end to end."""
+    master_rng = np.random.default_rng(config.seed)
+    kernel = Kernel()
+    propagation = PropagationModel(shadowing_seed=config.seed)
+    interferers = []
+    if config.microwave:
+        # A microwave oven in a mid-building kitchenette.  Burst length
+        # (~40 ms) deliberately exceeds a full ARQ exchange (7 attempts in
+        # ~15 ms), so nearby stations suffer whole-exchange failures — the
+        # wireless TCP losses of Figure 11 — not just extra retries.
+        interferers.append(
+            BroadbandInterferer(
+                position=(55.0, 5.0, 2.5),
+                power_dbm=28.0,
+                period_us=200_000,
+                duty_cycle=0.55,
+            )
+        )
+        # A second oven on the third floor widens the affected population.
+        interferers.append(
+            BroadbandInterferer(
+                position=(30.0, 12.0, 10.5),
+                power_dbm=28.0,
+                period_us=260_000,
+                duty_cycle=0.5,
+                start_us=40_000,
+            )
+        )
+    medium = Medium(kernel, propagation, interferers)
+    building = Building(floors=config.floors)
+
+    # --- production network -------------------------------------------------
+    exclude_wings = [(0, 0)] if config.uncovered_wing else []
+    ap_alloc = MacAllocator(AP_OUI)
+    ap_placements = building.place_aps(
+        config.aps_per_floor, exclude_wings=exclude_wings
+    )
+    ap_channels = assign_channels(ap_placements)
+    aps: List[AccessPoint] = []
+    for placement, channel in zip(ap_placements, ap_channels):
+        aps.append(
+            AccessPoint(
+                kernel,
+                medium,
+                ap_alloc.allocate(),
+                placement.position,
+                channel,
+                config.tx_power_ap_dbm,
+                np.random.default_rng(master_rng.integers(0, 2**63)),
+                protection_timeout_us=config.protection_timeout_us,
+            )
+        )
+
+    # --- monitoring infrastructure ---------------------------------------------
+    pod_placements = building.place_pods(
+        config.n_pods, exclude_wings=exclude_wings
+    )
+    pods: List[SensorPod] = []
+    for pod_id, placement in enumerate(pod_placements):
+        pods.append(
+            build_pod(
+                kernel,
+                medium,
+                pod_id,
+                placement.position,
+                config.clocks,
+                np.random.default_rng(master_rng.integers(0, 2**63)),
+                first_radio_id=pod_id * 4,
+            )
+        )
+
+    # --- clients -----------------------------------------------------------------
+    client_alloc = MacAllocator(CLIENT_OUI)
+    station_placements = building.place_clients(
+        config.n_clients, master_rng, config.corner_client_fraction
+    )
+    n_11b = int(round(config.n_clients * config.fraction_11b_clients))
+    stations: List[Station] = []
+    for index, placement in enumerate(station_placements):
+        ap = _strongest_ap(
+            placement, aps, ap_placements, propagation, config
+        )
+        start_us = int(master_rng.uniform(0, min(500_000, config.duration_us // 4)))
+        stations.append(
+            Station(
+                kernel,
+                medium,
+                client_alloc.allocate(),
+                placement.position,
+                config.tx_power_client_dbm,
+                np.random.default_rng(master_rng.integers(0, 2**63)),
+                ap=ap,
+                supports_ofdm=index >= n_11b,
+                start_us=start_us,
+                rescan_interval_us=config.client_rescan_interval_us,
+            )
+        )
+
+    # --- wired side -----------------------------------------------------------------
+    wired = WiredNetwork(
+        kernel,
+        np.random.default_rng(master_rng.integers(0, 2**63)),
+        loss_rate=config.wired_loss_rate,
+        rtt_us=config.wired_rtt_us,
+    )
+    for ap in aps:
+        wired.register_ap(ap)
+    client_ips: Dict[int, int] = {}
+    for index, station in enumerate(stations):
+        ip = CLIENT_IP_BASE | (index + 1)
+        client_ips[index] = ip
+        wired.register_client(station.mac, ip, station.ap)
+
+    VernierTracker(
+        kernel,
+        wired,
+        client_ips=list(client_ips.values()),
+        interval_us=config.arp_interval_us,
+        server_ip=VERNIER_IP,
+    )
+    ScanArpSource(
+        kernel,
+        wired,
+        np.random.default_rng(master_rng.integers(0, 2**63)),
+        mean_interval_us=config.arp_interval_us * 4,
+    )
+
+    # --- workload --------------------------------------------------------------------
+    flows = generate_flows(
+        config, np.random.default_rng(master_rng.integers(0, 2**63))
+    )
+    station_stacks = [StationStack(station) for station in stations]
+    host_stacks: Dict[int, HostStack] = {}
+    drivers: List[FlowDriver] = []
+    next_client_port: Dict[int, int] = {}
+    for flow_index, flow in enumerate(flows):
+        server_ip = SERVER_IP_BASE | (1 + flow_index % 32)
+        if server_ip not in host_stacks:
+            host_stacks[server_ip] = HostStack(wired.add_host(server_ip))
+        port = next_client_port.get(flow.client_index, 40_000)
+        next_client_port[flow.client_index] = port + 1
+        drivers.append(
+            FlowDriver(
+                kernel,
+                np.random.default_rng(master_rng.integers(0, 2**63)),
+                flow,
+                station_stacks[flow.client_index],
+                client_ips[flow.client_index],
+                host_stacks[server_ip],
+                wired,
+                client_port=port,
+            )
+        )
+
+    # --- run --------------------------------------------------------------------------
+    kernel.run_until(config.duration_us)
+    for driver in drivers:
+        driver.client.abort() if not driver.client.finished else None
+        driver.server.abort() if not driver.server.finished else None
+
+    return SimulationArtifacts(
+        config=config,
+        building=building,
+        medium=medium,
+        wired=wired,
+        aps=aps,
+        ap_placements=ap_placements,
+        stations=stations,
+        station_placements=station_placements,
+        pods=pods,
+        pod_placements=pod_placements,
+        flows=flows,
+        flow_outcomes=[driver.outcome for driver in drivers],
+        events_run=kernel.events_run,
+    )
+
+
+def _strongest_ap(
+    placement: Placement,
+    aps: List[AccessPoint],
+    ap_placements: List[Placement],
+    propagation: PropagationModel,
+    config: ScenarioConfig,
+) -> AccessPoint:
+    """The AP a client would associate with: best beacon RSSI."""
+    best_ap = aps[0]
+    best_rssi = float("-inf")
+    for ap, ap_placement in zip(aps, ap_placements):
+        rssi = propagation.rssi_dbm(
+            config.tx_power_ap_dbm, ap_placement.position, placement.position
+        )
+        if rssi > best_rssi:
+            best_rssi = rssi
+            best_ap = ap
+    return best_ap

@@ -1,0 +1,27 @@
+"""Transport substrate: a small, behaviorally real TCP."""
+
+from .endpoint import (
+    DEFAULT_RTO_US,
+    DEFAULT_WINDOW_SEGMENTS,
+    MAX_RETX,
+    TcpDemux,
+    TcpPeer,
+    TcpState,
+    TcpStats,
+    seq_add,
+    seq_leq,
+    seq_lt,
+)
+
+__all__ = [
+    "DEFAULT_RTO_US",
+    "DEFAULT_WINDOW_SEGMENTS",
+    "MAX_RETX",
+    "TcpDemux",
+    "TcpPeer",
+    "TcpState",
+    "TcpStats",
+    "seq_add",
+    "seq_leq",
+    "seq_lt",
+]

@@ -1,0 +1,170 @@
+"""Flow drivers: wiring TCP peers onto the wireless and wired substrates.
+
+One :class:`FlowDriver` executes one :class:`~repro.sim.workload.FlowRequest`:
+a client-side peer whose packets ride the station's 802.11 uplink, and a
+server-side peer on a wired host reached through the distribution network.
+Losses the flow experiences therefore come from two distinct places — the
+wireless hop (link-layer exchanges that exhaust their retries) and the
+wired path (the configured loss rate) — which is precisely the split
+Figure 11 decomposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mac.station import Station
+from ..net.packets import IpPacket, ip_to_bytes, try_parse_packet
+from ..net.wired import WiredHost, WiredNetwork
+from ..sim.kernel import Kernel
+from ..sim.workload import FlowRequest
+from .endpoint import TcpDemux, TcpPeer
+
+#: Server ports by archetype name (web/ssh/scp -> http/ssh/ssh).
+ARCHETYPE_PORTS = {"web": 80, "ssh": 22, "scp": 22}
+
+
+class StationPort:
+    """Client-side egress: IP packets ride the station's 802.11 uplink."""
+
+    def __init__(self, station: Station) -> None:
+        self._station = station
+
+    def send(self, packet: IpPacket) -> None:
+        self._station.send_payload(ip_to_bytes(packet))
+
+
+class WiredPort:
+    """Server-side egress: IP packets traverse the distribution network."""
+
+    def __init__(self, wired: WiredNetwork) -> None:
+        self._wired = wired
+
+    def send(self, packet: IpPacket) -> None:
+        self._wired.send_to_client(packet)
+
+
+class StationStack:
+    """Installs a TCP demux behind a station's packet sink (one per STA)."""
+
+    def __init__(self, station: Station) -> None:
+        self.station = station
+        self.demux = TcpDemux()
+        station.packet_sink = self._on_payload
+
+    def _on_payload(self, payload: bytes) -> None:
+        packet = try_parse_packet(payload)
+        if isinstance(packet, IpPacket):
+            self.demux.deliver(packet)
+
+
+class HostStack:
+    """Installs a TCP demux behind a wired host (one per host)."""
+
+    def __init__(self, host: WiredHost) -> None:
+        self.host = host
+        self.demux = TcpDemux()
+        host.add_sink(self.demux.deliver)
+
+
+@dataclass
+class FlowOutcome:
+    """Ground truth for one executed flow."""
+
+    flow: FlowRequest
+    client_port: int
+    server_port: int
+    client_ip: int
+    server_ip: int
+    started_us: int
+    completed: bool = False
+    finished_us: Optional[int] = None
+    client_stats: Optional[object] = None
+    server_stats: Optional[object] = None
+
+
+class FlowDriver:
+    """Creates and starts the two peers of one flow."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rng: np.random.Generator,
+        flow: FlowRequest,
+        station_stack: StationStack,
+        client_ip: int,
+        host_stack: HostStack,
+        wired: WiredNetwork,
+        client_port: int,
+    ) -> None:
+        self.kernel = kernel
+        self.flow = flow
+        server_port = ARCHETYPE_PORTS[flow.archetype.value]
+        server_ip = host_stack.host.ip
+        self.outcome = FlowOutcome(
+            flow=flow,
+            client_port=client_port,
+            server_port=server_port,
+            client_ip=client_ip,
+            server_ip=server_ip,
+            started_us=flow.start_us,
+        )
+
+        client_sends = not flow.download
+        self.client = TcpPeer(
+            kernel,
+            StationPort(station_stack.station),
+            local_ip=client_ip,
+            local_port=client_port,
+            remote_ip=server_ip,
+            remote_port=server_port,
+            rng=rng,
+            is_client=True,
+            bytes_to_send=flow.total_bytes if client_sends else 0,
+            segment_bytes=flow.segment_bytes,
+            on_complete=self._on_client_done,
+        )
+        self.server = TcpPeer(
+            kernel,
+            WiredPort(wired),
+            local_ip=server_ip,
+            local_port=server_port,
+            remote_ip=client_ip,
+            remote_port=client_port,
+            rng=rng,
+            is_client=False,
+            bytes_to_send=0 if client_sends else flow.total_bytes,
+            segment_bytes=flow.segment_bytes,
+            on_complete=self._on_server_done,
+        )
+        station_stack.demux.register(
+            client_port, server_ip, server_port, self.client.handle
+        )
+        host_stack.demux.register(
+            server_port, client_ip, client_port, self.server.handle
+        )
+        self.outcome.client_stats = self.client.stats
+        self.outcome.server_stats = self.server.stats
+        kernel.at(flow.start_us, self._start)
+
+    def _start(self) -> None:
+        # A not-yet-associated station queues the SYN and flushes it on
+        # association; the handshake RTO covers the residual wait.
+        self.client.open()
+
+    def _on_client_done(self, ok: bool) -> None:
+        self._maybe_complete()
+
+    def _on_server_done(self, ok: bool) -> None:
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.client.finished and self.server.finished:
+            self.outcome.completed = (
+                self.client.state.value == "done"
+                and self.server.state.value == "done"
+            )
+            self.outcome.finished_us = self.kernel.now_us

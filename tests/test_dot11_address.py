@@ -1,0 +1,92 @@
+"""Unit tests for MAC address modelling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.address import (
+    AP_OUI,
+    BROADCAST,
+    CLIENT_OUI,
+    MacAddress,
+    MacAllocator,
+)
+
+
+class TestMacAddress:
+    def test_parse_round_trips_through_str(self):
+        addr = MacAddress.parse("00:1a:2b:3c:4d:5e")
+        assert str(addr) == "00:1a:2b:3c:4d:5e"
+
+    def test_parse_accepts_dashes(self):
+        assert MacAddress.parse("00-1a-2b-3c-4d-5e").value == 0x001A2B3C4D5E
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("not-a-mac")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("00:1a:2b:3c:4d")
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_broadcast_properties(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_group
+        assert not BROADCAST.is_multicast
+        assert not BROADCAST.is_unicast
+
+    def test_multicast_is_group_not_broadcast(self):
+        mcast = MacAddress.parse("01:00:5e:00:00:01")
+        assert mcast.is_multicast
+        assert mcast.is_group
+        assert not mcast.is_broadcast
+
+    def test_unicast(self):
+        addr = MacAddress.parse("00:11:22:33:44:55")
+        assert addr.is_unicast
+        assert not addr.is_group
+
+    def test_ordering_and_hash(self):
+        a = MacAddress(1)
+        b = MacAddress(2)
+        assert a < b
+        assert a == MacAddress(1)
+        assert hash(a) == hash(MacAddress(1))
+        assert len({a, MacAddress(1), b}) == 2
+
+    def test_oui(self):
+        addr = MacAddress.parse("00:1a:2b:3c:4d:5e")
+        assert addr.oui == 0x001A2B
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF_FFFF))
+    def test_bytes_round_trip(self, value):
+        addr = MacAddress(value)
+        assert MacAddress.from_bytes(addr.to_bytes()) == addr
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF_FFFF))
+    def test_str_round_trip(self, value):
+        addr = MacAddress(value)
+        assert MacAddress.parse(str(addr)) == addr
+
+
+class TestMacAllocator:
+    def test_allocates_distinct_unicast(self):
+        alloc = MacAllocator(AP_OUI)
+        addrs = list(alloc.allocate_many(100))
+        assert len(set(addrs)) == 100
+        assert all(a.is_unicast for a in addrs)
+
+    def test_separate_ouis_do_not_collide(self):
+        aps = list(MacAllocator(AP_OUI).allocate_many(50))
+        clients = list(MacAllocator(CLIENT_OUI).allocate_many(50))
+        assert not set(aps) & set(clients)
+
+    def test_rejects_oversized_oui(self):
+        with pytest.raises(ValueError):
+            MacAllocator(1 << 24)

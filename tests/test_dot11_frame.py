@@ -1,0 +1,216 @@
+"""Unit tests for the frame model and its serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.address import BROADCAST, MacAddress
+from repro.dot11.fcs import append_fcs, check_fcs, fcs32, strip_fcs
+from repro.dot11.frame import (
+    Frame,
+    FrameType,
+    make_ack,
+    make_assoc_request,
+    make_beacon,
+    make_cts,
+    make_cts_to_self,
+    make_data,
+    make_probe_request,
+    make_probe_response,
+    make_rts,
+)
+from repro.dot11.serialize import (
+    FrameParseError,
+    frame_from_bytes,
+    frame_to_bytes,
+    transmitter_from_corrupt_bytes,
+)
+
+SRC = MacAddress.parse("00:0c:0c:00:00:01")
+DST = MacAddress.parse("00:0a:0a:00:00:01")
+BSS = MacAddress.parse("00:0a:0a:00:00:01")
+
+
+def data_frame(seq=5, body=b"payload", retry=False):
+    return make_data(SRC, DST, BSS, seq=seq, body=body, retry=retry)
+
+
+class TestFcs:
+    def test_round_trip(self):
+        framed = append_fcs(b"hello")
+        assert check_fcs(framed)
+        assert strip_fcs(framed) == b"hello"
+
+    def test_detects_corruption(self):
+        framed = bytearray(append_fcs(b"hello"))
+        framed[0] ^= 0xFF
+        assert not check_fcs(bytes(framed))
+
+    def test_short_input(self):
+        assert not check_fcs(b"ab")
+        with pytest.raises(ValueError):
+            strip_fcs(b"ab")
+
+    @given(st.binary(max_size=256))
+    def test_fcs_deterministic(self, data):
+        assert fcs32(data) == fcs32(data)
+        assert check_fcs(append_fcs(data))
+
+
+class TestFrameModel:
+    def test_data_requires_sequence(self):
+        with pytest.raises(ValueError):
+            Frame(ftype=FrameType.DATA, addr1=DST, addr2=SRC)
+
+    def test_ack_rejects_sequence(self):
+        with pytest.raises(ValueError):
+            Frame(ftype=FrameType.ACK, addr1=DST, seq=1)
+
+    def test_sequence_range(self):
+        with pytest.raises(ValueError):
+            data_frame(seq=4096)
+
+    def test_duration_range(self):
+        with pytest.raises(ValueError):
+            Frame(ftype=FrameType.ACK, addr1=DST, duration_us=1 << 16)
+
+    def test_data_expects_ack(self):
+        assert data_frame().expects_ack
+
+    def test_broadcast_data_expects_no_ack(self):
+        frame = make_data(SRC, BROADCAST, BSS, seq=1, body=b"x")
+        assert not frame.expects_ack
+        assert frame.is_broadcast
+
+    def test_ack_frame_has_no_transmitter(self):
+        assert make_ack(SRC).transmitter is None
+
+    def test_cts_to_self_names_sender_in_ra(self):
+        cts = make_cts_to_self(SRC, duration_us=500)
+        assert cts.addr1 == SRC
+        assert cts.transmitter is None  # anonymous at the frame level
+
+    def test_as_retry_sets_bit_only(self):
+        frame = data_frame()
+        retry = frame.as_retry()
+        assert retry.retry and not frame.retry
+        assert retry.seq == frame.seq and retry.body == frame.body
+
+    def test_size_accounts_for_body(self):
+        assert data_frame(body=b"x" * 100).size_bytes == 128
+        assert make_ack(SRC).size_bytes == 14
+        assert make_cts(SRC, 100).size_bytes == 14
+        assert make_rts(SRC, DST, 100).size_bytes == 20
+
+    def test_frame_types_classification(self):
+        assert FrameType.ACK.is_control
+        assert FrameType.BEACON.is_management
+        assert FrameType.DATA.is_data
+        assert not FrameType.ACK.carries_sequence
+        assert FrameType.BEACON.carries_sequence
+
+    def test_beacon_is_broadcast_from_ap(self):
+        beacon = make_beacon(DST, seq=9)
+        assert beacon.is_broadcast
+        assert beacon.transmitter == DST
+        assert beacon.bssid == DST
+
+    def test_probe_request_broadcast(self):
+        probe = make_probe_request(SRC, seq=0)
+        assert probe.is_broadcast
+
+    def test_probe_response_unicast_to_client(self):
+        resp = make_probe_response(DST, SRC, seq=3)
+        assert resp.receiver == SRC
+        assert resp.expects_ack
+
+    def test_assoc_request_encodes_capability(self):
+        ofdm = make_assoc_request(SRC, DST, seq=1, supports_ofdm=True)
+        cck = make_assoc_request(SRC, DST, seq=2, supports_ofdm=False)
+        assert ofdm.body != cck.body
+
+    def test_str_is_informative(self):
+        text = str(data_frame(retry=True))
+        assert "data" in text and "retry" in text and "seq=5" in text
+
+
+# A hypothesis strategy over representative frames.
+_addresses = st.integers(min_value=1, max_value=0xFFFF_FFFF_FFFE).map(MacAddress)
+_frames = st.one_of(
+    st.builds(
+        make_data,
+        src=_addresses,
+        dst=_addresses,
+        bssid=_addresses,
+        seq=st.integers(min_value=0, max_value=4095),
+        body=st.binary(max_size=300),
+        duration_us=st.integers(min_value=0, max_value=0x7FFF),
+        retry=st.booleans(),
+    ),
+    st.builds(make_ack, receiver=_addresses),
+    st.builds(
+        make_cts_to_self,
+        sender=_addresses,
+        duration_us=st.integers(min_value=0, max_value=0x7FFF),
+    ),
+    st.builds(
+        make_beacon,
+        ap=_addresses,
+        seq=st.integers(min_value=0, max_value=4095),
+    ),
+)
+
+
+class TestSerialization:
+    @given(frame=_frames)
+    def test_round_trip(self, frame):
+        assert frame_from_bytes(frame_to_bytes(frame)) == frame
+
+    @given(frame=_frames)
+    def test_serialization_deterministic(self, frame):
+        assert frame_to_bytes(frame) == frame_to_bytes(frame)
+
+    def test_fcs_verified_by_default(self):
+        raw = bytearray(frame_to_bytes(data_frame()))
+        raw[-1] ^= 0x01
+        with pytest.raises(FrameParseError):
+            frame_from_bytes(bytes(raw))
+
+    def test_corrupt_body_parse_skippable(self):
+        raw = bytearray(frame_to_bytes(data_frame(body=b"z" * 64)))
+        raw[30] ^= 0xFF  # damage the body, not the header
+        frame = frame_from_bytes(bytes(raw), verify_fcs=False)
+        assert frame.transmitter == SRC  # header fields survive
+
+    def test_truncated_raises(self):
+        raw = frame_to_bytes(data_frame())
+        with pytest.raises(FrameParseError):
+            frame_from_bytes(raw[:8])
+
+    def test_unknown_type_code_raises(self):
+        raw = bytearray(frame_to_bytes(make_ack(SRC)))
+        raw[0] = 0xFE
+        from repro.dot11.fcs import append_fcs as _afcs
+
+        rebuilt = _afcs(bytes(raw[:-4]))
+        with pytest.raises(FrameParseError):
+            frame_from_bytes(rebuilt)
+
+    def test_transmitter_recovery_from_corrupt_tail(self):
+        raw = bytearray(frame_to_bytes(data_frame(body=b"q" * 128)))
+        raw[-10] ^= 0xFF  # FCS now fails, tail corrupt
+        assert transmitter_from_corrupt_bytes(bytes(raw)) == SRC
+
+    def test_transmitter_recovery_fails_for_ack(self):
+        raw = frame_to_bytes(make_ack(SRC))
+        assert transmitter_from_corrupt_bytes(raw) is None
+
+    def test_transmitter_recovery_fails_when_too_short(self):
+        assert transmitter_from_corrupt_bytes(b"\x00" * 4) is None
+
+    @given(frame=_frames)
+    def test_size_matches_model(self, frame):
+        # Serialized length tracks the model's size accounting loosely:
+        # both must grow together with the body.
+        raw = frame_to_bytes(frame)
+        assert len(raw) >= 14

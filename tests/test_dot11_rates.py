@@ -1,0 +1,151 @@
+"""Unit tests for rate tables and airtime arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11 import constants as C
+from repro.dot11.rates import (
+    ALL_RATES,
+    B_RATES,
+    G_RATES,
+    RATE_1,
+    RATE_2,
+    RATE_5_5,
+    RATE_6,
+    RATE_11,
+    RATE_12,
+    RATE_24,
+    RATE_54,
+    ack_airtime_us,
+    ack_rate_for,
+    cts_airtime_us,
+    cts_to_self_duration_field_us,
+    data_duration_field_us,
+    duration_field_us,
+    frame_airtime_us,
+    next_lower_rate,
+    payload_duration_us,
+    plcp_duration_us,
+    protection_overhead_factor,
+    rate_from_mbps,
+)
+
+
+class TestRateTables:
+    def test_b_rates_are_cck(self):
+        assert all(r.is_cck for r in B_RATES)
+
+    def test_g_rates_are_ofdm(self):
+        assert all(r.is_ofdm for r in G_RATES)
+
+    def test_all_rates_sorted_ascending(self):
+        mbps = [r.mbps for r in ALL_RATES]
+        assert mbps == sorted(mbps)
+        assert len(ALL_RATES) == 12
+
+    def test_lookup_by_mbps(self):
+        assert rate_from_mbps(5.5) is RATE_5_5
+        assert rate_from_mbps(54) is RATE_54
+
+    def test_lookup_unknown_rate(self):
+        with pytest.raises(ValueError):
+            rate_from_mbps(7)
+
+    def test_next_lower_rate_steps_down(self):
+        assert next_lower_rate(RATE_11, B_RATES) is RATE_5_5
+        assert next_lower_rate(RATE_54, G_RATES).mbps == 48
+
+    def test_next_lower_rate_floors_at_lowest(self):
+        assert next_lower_rate(RATE_1, B_RATES) is RATE_1
+
+    def test_str(self):
+        assert str(RATE_5_5) == "5.5Mbps/cck"
+        assert str(RATE_54) == "54Mbps/ofdm"
+
+
+class TestAirtime:
+    def test_plcp_long_preamble(self):
+        assert plcp_duration_us(RATE_1) == 192
+        assert plcp_duration_us(RATE_2) == 192
+
+    def test_plcp_short_preamble_not_at_1mbps(self):
+        assert plcp_duration_us(RATE_1, short_preamble=True) == 192
+        assert plcp_duration_us(RATE_2, short_preamble=True) == 96
+
+    def test_plcp_ofdm(self):
+        assert plcp_duration_us(RATE_54) == 20
+
+    def test_cck_payload_is_bits_over_rate(self):
+        # 1500 bytes at 11 Mbps: 12000 bits / 11 = 1090.9 -> 1091 us
+        assert payload_duration_us(1500, RATE_11) == 1091
+
+    def test_ofdm_payload_quantized_to_symbols(self):
+        # (16 + 12000 + 6) bits / 216 bits-per-symbol = 55.65 -> 56 symbols
+        assert payload_duration_us(1500, RATE_54) == 56 * 4 + 6
+
+    def test_zero_byte_frame_still_costs_symbols(self):
+        assert payload_duration_us(0, RATE_54) > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            payload_duration_us(-1, RATE_11)
+
+    def test_cts_at_2mbps_long_preamble_is_248us(self):
+        # Footnote 7: "CTS: 248 us (our APs send CTS at 2 Mbps with the
+        # long preamble)".  14 bytes * 8 / 2 = 56 us + 192 us PLCP.
+        assert cts_airtime_us(RATE_2) == 248
+
+    def test_ack_rate_is_basic_rate_below_data_rate(self):
+        assert ack_rate_for(RATE_54) is RATE_24
+        assert ack_rate_for(RATE_6) is RATE_6
+        assert ack_rate_for(RATE_11) is RATE_11
+        assert ack_rate_for(RATE_5_5) is RATE_5_5
+
+    def test_ack_airtime_monotone_in_rate(self):
+        assert ack_airtime_us(RATE_1) > ack_airtime_us(RATE_11)
+
+    @given(
+        size=st.integers(min_value=0, max_value=2346),
+        rate=st.sampled_from(ALL_RATES),
+    )
+    def test_airtime_positive_and_monotone_in_size(self, size, rate):
+        airtime = frame_airtime_us(size, rate)
+        assert airtime > 0
+        assert frame_airtime_us(size + 100, rate) >= airtime
+
+    @given(size=st.integers(min_value=1, max_value=2346))
+    def test_faster_cck_rate_never_slower(self, size):
+        assert frame_airtime_us(size, RATE_11) <= frame_airtime_us(size, RATE_1)
+
+
+class TestDurationField:
+    def test_clamped_to_15_bits(self):
+        assert duration_field_us(100_000) == 0x7FFF
+        assert duration_field_us(-5) == 0
+
+    def test_data_duration_covers_sifs_plus_ack(self):
+        assert data_duration_field_us(RATE_24) == C.SIFS_US + ack_airtime_us(RATE_24)
+
+    def test_cts_to_self_duration_covers_exchange(self):
+        dur = cts_to_self_duration_field_us(1500, RATE_54, RATE_24)
+        expected = (
+            C.SIFS_US
+            + frame_airtime_us(1500, RATE_54)
+            + C.SIFS_US
+            + ack_airtime_us(RATE_24)
+        )
+        assert dur == expected
+
+
+class TestFootnote7:
+    def test_protection_overhead_near_paper_value(self):
+        """The paper computes 1.98; our airtime model (which includes the
+        6 us OFDM signal extension the footnote omits) lands within 5%."""
+        factor = protection_overhead_factor()
+        assert factor == pytest.approx(1.98, rel=0.05)
+
+    def test_protection_overhead_grows_for_smaller_frames(self):
+        small = protection_overhead_factor(mss_bytes=100)
+        large = protection_overhead_factor(mss_bytes=1500)
+        assert small > large

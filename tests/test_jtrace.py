@@ -1,0 +1,141 @@
+"""Unit tests for trace records and trace file I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jtrace.io import (
+    RadioTrace,
+    read_trace,
+    read_traces,
+    write_trace,
+    write_traces,
+)
+from repro.jtrace.records import (
+    RecordKind,
+    TraceRecord,
+    record_from_bytes,
+    record_to_bytes,
+)
+
+
+def make_record(radio_id=1, ts=1000, kind=RecordKind.VALID, snap=b"abc",
+                txid=7, rate=11.0):
+    return TraceRecord(
+        radio_id=radio_id,
+        timestamp_us=ts,
+        kind=kind,
+        channel=6,
+        rate_mbps=rate,
+        rssi_dbm=-63.0,
+        frame_len=len(snap),
+        fcs=0xDEADBEEF,
+        snap=snap if kind is not RecordKind.PHY_ERROR else b"",
+        duration_us=222,
+        truth_txid=txid,
+    )
+
+
+class TestTraceRecord:
+    def test_round_trip(self):
+        record = make_record()
+        raw = record_to_bytes(record)
+        decoded, offset = record_from_bytes(raw)
+        assert decoded == record
+        assert offset == len(raw)
+
+    def test_negative_timestamp_survives(self):
+        # Clock offsets can push local time negative near trace start.
+        record = make_record(ts=-123_456)
+        decoded, _ = record_from_bytes(record_to_bytes(record))
+        assert decoded.timestamp_us == -123_456
+
+    def test_phy_error_has_no_snap(self):
+        with pytest.raises(ValueError):
+            TraceRecord(
+                radio_id=1, timestamp_us=0, kind=RecordKind.PHY_ERROR,
+                channel=1, rate_mbps=1.0, rssi_dbm=-90.0, frame_len=0,
+                fcs=0, snap=b"oops", duration_us=100,
+            )
+
+    def test_oversized_snap_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(snap=b"z" * 500)
+
+    def test_kind_properties(self):
+        assert RecordKind.VALID.has_frame
+        assert RecordKind.CORRUPT.has_frame
+        assert not RecordKind.PHY_ERROR.has_frame
+        assert make_record().is_valid_frame
+
+    def test_stream_of_records(self):
+        records = [make_record(ts=t) for t in range(0, 5000, 1000)]
+        raw = b"".join(record_to_bytes(r) for r in records)
+        decoded = []
+        offset = 0
+        while offset < len(raw):
+            record, offset = record_from_bytes(raw, offset)
+            decoded.append(record)
+        assert decoded == records
+
+    def test_truncated_raises(self):
+        raw = record_to_bytes(make_record())
+        with pytest.raises(ValueError):
+            record_from_bytes(raw[:10])
+        with pytest.raises(ValueError):
+            record_from_bytes(raw[:-2])
+
+    @given(
+        ts=st.integers(min_value=-(2**40), max_value=2**40),
+        snap=st.binary(max_size=200),
+        rate=st.sampled_from([1.0, 2.0, 5.5, 11.0, 6.0, 54.0]),
+    )
+    def test_round_trip_property(self, ts, snap, rate):
+        record = make_record(ts=ts, snap=snap, rate=rate)
+        decoded, _ = record_from_bytes(record_to_bytes(record))
+        assert decoded == record
+
+
+class TestTraceFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        trace = RadioTrace(radio_id=5, channel=6)
+        for t in range(0, 10_000, 500):
+            trace.append(make_record(radio_id=5, ts=t))
+        write_trace(trace, tmp_path)
+        loaded = read_trace(tmp_path / "radio_0005.jtr.gz")
+        assert loaded.radio_id == 5
+        assert loaded.channel == 6
+        assert loaded.records == trace.records
+
+    def test_index_mismatch_detected(self, tmp_path):
+        trace = RadioTrace(radio_id=1, channel=1, records=[make_record()])
+        write_trace(trace, tmp_path)
+        meta = tmp_path / "radio_0001.meta.json"
+        meta.write_text(meta.read_text().replace('"records": 1', '"records": 2'))
+        with pytest.raises(ValueError):
+            read_trace(tmp_path / "radio_0001.jtr.gz")
+
+    def test_multi_trace_directory(self, tmp_path):
+        traces = [
+            RadioTrace(radio_id=i, channel=1, records=[make_record(radio_id=i)])
+            for i in range(4)
+        ]
+        write_traces(traces, tmp_path)
+        loaded = read_traces(tmp_path)
+        assert [t.radio_id for t in loaded] == [0, 1, 2, 3]
+
+    def test_empty_trace(self, tmp_path):
+        trace = RadioTrace(radio_id=9, channel=11)
+        write_trace(trace, tmp_path)
+        loaded = read_trace(tmp_path / "radio_0009.jtr.gz")
+        assert len(loaded) == 0
+        assert loaded.first_timestamp_us is None
+
+    def test_sorted_by_local_time(self):
+        trace = RadioTrace(
+            radio_id=1, channel=1,
+            records=[make_record(ts=500), make_record(ts=100)],
+        )
+        ordered = trace.sorted_by_local_time()
+        assert [r.timestamp_us for r in ordered] == [100, 500]

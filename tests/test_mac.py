@@ -1,0 +1,259 @@
+"""Integration tests for the MAC substrate: medium, DCF, stations, APs."""
+
+import numpy as np
+import pytest
+
+from repro.dot11.address import BROADCAST, MacAddress
+from repro.dot11.channels import CHANNEL_1, CHANNEL_6
+from repro.dot11.frame import FrameType, make_data
+from repro.dot11.rates import RATE_1, RATE_11, RATE_54, B_RATES, G_RATES
+from repro.mac.ap import AccessPoint
+from repro.mac.dcf import TxJob
+from repro.mac.medium import Medium
+from repro.mac.station import Station, select_rate
+from repro.phy.propagation import PropagationModel
+from repro.sim.kernel import Kernel
+
+AP_MAC = MacAddress.parse("00:0a:0a:00:00:01")
+STA_MAC = MacAddress.parse("00:0c:0c:00:00:01")
+STA2_MAC = MacAddress.parse("00:0c:0c:00:00:02")
+
+
+def build_cell(
+    seed=0,
+    sta_pos=(5.0, 9.0, 1.0),
+    protection_timeout_us=3_600_000_000,
+    sta_ofdm=True,
+    shadowing=0.0,
+):
+    kernel = Kernel()
+    medium = Medium(kernel, PropagationModel(shadowing_sigma_db=shadowing))
+    rng = np.random.default_rng(seed)
+    ap = AccessPoint(
+        kernel, medium, AP_MAC, (0.0, 9.0, 2.5), CHANNEL_1,
+        tx_power_dbm=18.0, rng=np.random.default_rng(seed + 1),
+        protection_timeout_us=protection_timeout_us,
+    )
+    sta = Station(
+        kernel, medium, STA_MAC, sta_pos, tx_power_dbm=15.0,
+        rng=np.random.default_rng(seed + 2), ap=ap,
+        supports_ofdm=sta_ofdm, start_us=1_000,
+    )
+    return kernel, medium, ap, sta
+
+
+class TestRateSelection:
+    def test_strong_signal_picks_top_rate(self):
+        assert select_rate(-40.0, G_RATES) is RATE_54
+
+    def test_weak_signal_falls_back(self):
+        rate = select_rate(-88.0, B_RATES)
+        assert rate is RATE_1
+
+    def test_mid_signal_intermediate(self):
+        rate = select_rate(-80.0, B_RATES)
+        assert rate.mbps < 11 or rate is RATE_11
+
+
+class TestAssociation:
+    def test_station_associates(self):
+        kernel, _, ap, sta = build_cell()
+        kernel.run_until(2_000_000)
+        assert sta.associated
+        assert ap.clients[STA_MAC].associated
+
+    def test_handshake_frames_on_air(self):
+        kernel, medium, ap, sta = build_cell()
+        kernel.run_until(2_000_000)
+        kinds = {tx.frame.ftype for tx in medium.history}
+        assert FrameType.PROBE_REQUEST in kinds
+        assert FrameType.PROBE_RESPONSE in kinds
+        assert FrameType.AUTH in kinds
+        assert FrameType.ASSOC_REQUEST in kinds
+        assert FrameType.ASSOC_RESPONSE in kinds
+        assert FrameType.ACK in kinds
+
+    def test_ap_learns_client_capability(self):
+        kernel, _, ap, sta = build_cell(sta_ofdm=False)
+        kernel.run_until(2_000_000)
+        assert not ap.clients[STA_MAC].supports_ofdm
+
+    def test_callbacks_fire_on_association(self):
+        kernel, _, _, sta = build_cell()
+        fired = []
+        sta.when_associated(lambda: fired.append(kernel.now_us))
+        kernel.run_until(2_000_000)
+        assert fired
+
+    def test_when_associated_immediate_if_already(self):
+        kernel, _, _, sta = build_cell()
+        kernel.run_until(2_000_000)
+        fired = []
+        sta.when_associated(lambda: fired.append(True))
+        assert fired == [True]
+
+
+class TestBeacons:
+    def test_beacons_roughly_100ms_apart(self):
+        kernel, medium, ap, _ = build_cell()
+        kernel.run_until(1_000_000)
+        beacons = [
+            tx for tx in medium.history if tx.frame.ftype is FrameType.BEACON
+        ]
+        assert len(beacons) >= 8
+        gaps = [
+            b2.start_us - b1.start_us for b1, b2 in zip(beacons, beacons[1:])
+        ]
+        assert all(90_000 < gap < 130_000 for gap in gaps)
+
+    def test_beacons_at_lowest_rate(self):
+        kernel, medium, _, _ = build_cell()
+        kernel.run_until(500_000)
+        beacons = [
+            tx for tx in medium.history if tx.frame.ftype is FrameType.BEACON
+        ]
+        assert all(tx.rate is RATE_1 for tx in beacons)
+
+
+class TestDataTransfer:
+    def test_uplink_reaches_ap(self):
+        kernel, _, ap, sta = build_cell()
+        received = []
+        ap.uplink_sink = lambda client, payload: received.append((client, payload))
+        sta.send_payload(b"hello-world-payload")
+        kernel.run_until(2_000_000)
+        assert received and received[0] == (STA_MAC, b"hello-world-payload")
+
+    def test_downlink_reaches_station(self):
+        kernel, _, ap, sta = build_cell()
+        received = []
+        sta.packet_sink = received.append
+        sta.when_associated(lambda: ap.send_downlink(STA_MAC, b"downlink-data"))
+        kernel.run_until(2_000_000)
+        assert received == [b"downlink-data"]
+
+    def test_data_frames_are_acked(self):
+        kernel, medium, ap, sta = build_cell()
+        sta.send_payload(b"x" * 500)
+        kernel.run_until(2_000_000)
+        data = [
+            tx for tx in medium.history
+            if tx.frame.ftype is FrameType.DATA and tx.frame.addr2 == STA_MAC
+            and tx.frame.to_ds
+        ]
+        acks = [
+            tx for tx in medium.history
+            if tx.frame.ftype is FrameType.ACK and tx.frame.addr1 == STA_MAC
+        ]
+        assert data and acks
+        # The ACK follows the DATA after SIFS.
+        first_data = data[0]
+        following = [a for a in acks if a.start_us == first_data.end_us + 10]
+        assert following
+
+    def test_send_before_association_is_queued(self):
+        kernel, _, ap, sta = build_cell()
+        received = []
+        ap.uplink_sink = lambda client, payload: received.append(payload)
+        sta.send_payload(b"early")  # not associated yet at t=0
+        kernel.run_until(2_000_000)
+        assert received == [b"early"]
+
+    def test_distant_station_retransmits(self):
+        # ~95 m away on the same floor: marginal SNR, so a burst of data
+        # frames must suffer at least one link-layer retransmission.
+        kernel, medium, ap, sta = build_cell(
+            sta_pos=(95.0, 9.0, 1.0), seed=3
+        )
+        kernel.run_until(2_000_000)
+        if not sta.associated:
+            pytest.skip("too lossy to associate at this seed/distance")
+        for i in range(30):
+            sta.send_payload(bytes([i]) * 1000)
+        kernel.run_until(6_000_000)
+        retries = [
+            tx for tx in medium.history
+            if tx.frame.retry and tx.frame.addr2 == STA_MAC
+        ]
+        assert retries  # at least one retransmission happened
+
+
+class TestProtectionMode:
+    def test_protection_off_without_11b(self):
+        kernel, _, ap, _ = build_cell(sta_ofdm=True)
+        kernel.run_until(2_000_000)
+        assert not ap.protection_enabled
+
+    def test_protection_on_when_11b_associates(self):
+        kernel, _, ap, _ = build_cell(sta_ofdm=False)
+        kernel.run_until(2_000_000)
+        assert ap.protection_enabled
+
+    def test_protection_expires_after_timeout(self):
+        kernel, _, ap, sta = build_cell(
+            sta_ofdm=False, protection_timeout_us=500_000
+        )
+        kernel.run_until(2_000_000)
+        # The 11b client keeps transmitting nothing after association; after
+        # the short timeout with no 11b frames, protection must drop.
+        if ap.last_11b_seen_us is not None:
+            last = ap.last_11b_seen_us
+            kernel.run_until(last + 600_000)
+            assert not ap.protection_enabled
+
+    def test_cts_to_self_precedes_protected_data(self):
+        kernel, medium, ap, sta = build_cell(sta_ofdm=False, seed=11)
+        kernel.run_until(2_000_000)
+        # Now a g-client joins the same AP and sends OFDM data under
+        # protection learned from beacons.
+        g_sta = Station(
+            kernel, medium, STA2_MAC, (4.0, 8.0, 1.0), 15.0,
+            np.random.default_rng(99), ap=ap, supports_ofdm=True,
+            start_us=kernel.now_us + 1_000,
+        )
+        kernel.run_until(kernel.now_us + 2_000_000)
+        assert g_sta.associated
+        assert g_sta.protection_active
+        g_sta.send_payload(b"z" * 800)
+        kernel.run_until(kernel.now_us + 1_000_000)
+        cts = [
+            tx for tx in medium.history
+            if tx.frame.ftype is FrameType.CTS and tx.frame.addr1 == STA2_MAC
+        ]
+        assert cts, "expected a CTS-to-self from the protected g client"
+        assert all(tx.rate.is_cck for tx in cts)
+
+
+class TestMediumBehaviour:
+    def test_ground_truth_records_everything(self):
+        kernel, medium, _, sta = build_cell()
+        sta.send_payload(b"abc")
+        kernel.run_until(2_000_000)
+        assert medium.history == sorted(medium.history, key=lambda t: t.start_us)
+        assert all(tx.duration_us > 0 for tx in medium.history)
+
+    def test_carrier_sense_position_dependent(self):
+        kernel, medium, ap, _ = build_cell()
+        # Put a long transmission on the air directly.
+        frame = make_data(STA_MAC, AP_MAC, AP_MAC, seq=1, body=b"q" * 1400)
+        from repro.dot11.serialize import frame_to_bytes
+
+        medium.transmit(
+            frame, frame_to_bytes(frame), RATE_1, CHANNEL_1,
+            position=(0.0, 9.0, 2.5), power_dbm=15.0, transmitter_id="t",
+        )
+        near_busy = medium.is_busy(CHANNEL_1, (5.0, 9.0, 2.5))
+        far_busy = medium.is_busy(CHANNEL_1, (109.0, 17.0, 14.5))
+        assert near_busy
+        assert not far_busy
+
+    def test_cross_channel_isolation(self):
+        kernel, medium, _, _ = build_cell()
+        frame = make_data(STA_MAC, AP_MAC, AP_MAC, seq=1, body=b"q" * 1400)
+        from repro.dot11.serialize import frame_to_bytes
+
+        medium.transmit(
+            frame, frame_to_bytes(frame), RATE_1, CHANNEL_1,
+            position=(0.0, 9.0, 2.5), power_dbm=15.0, transmitter_id="t",
+        )
+        assert not medium.is_busy(CHANNEL_6, (5.0, 9.0, 2.5))

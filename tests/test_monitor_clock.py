@@ -1,0 +1,69 @@
+"""Unit tests for the imperfect radio clock model."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.clock import PerfectClock, RadioClock
+from repro.sim.scenario import ClockConfig
+
+
+def make_clock(seed=0, **overrides):
+    config = ClockConfig(**overrides)
+    return RadioClock(np.random.default_rng(seed), config)
+
+
+class TestRadioClock:
+    def test_offset_applied_at_time_zero(self):
+        clock = make_clock(skew_ppm_sigma=0.0, drift_ppm_per_s_sigma=0.0)
+        assert clock.local_time_us(0) == int(round(clock.offset_us))
+
+    def test_skew_accumulates_linearly(self):
+        clock = make_clock(
+            seed=1, offset_spread_us=0.0, drift_ppm_per_s_sigma=0.0,
+            skew_ppm_sigma=50.0,
+        )
+        skew = clock.initial_skew_ppm
+        local = clock.local_time_us(1_000_000)
+        expected = 1_000_000 * (1 + skew * 1e-6)
+        assert local == pytest.approx(expected, abs=2)
+
+    def test_zero_error_clock_is_identity(self):
+        clock = make_clock(
+            offset_spread_us=0.0, skew_ppm_sigma=0.0, drift_ppm_per_s_sigma=0.0
+        )
+        for t in (0, 17, 999_983, 5_000_000):
+            assert clock.local_time_us(t) == t
+
+    def test_monotonic_queries_enforced(self):
+        clock = make_clock()
+        clock.local_time_us(1000)
+        with pytest.raises(ValueError):
+            clock.local_time_us(999)
+
+    def test_local_time_monotone(self):
+        clock = make_clock(seed=7, skew_ppm_sigma=80.0, drift_ppm_per_s_sigma=0.5)
+        values = [clock.local_time_us(t) for t in range(0, 10_000_000, 50_000)]
+        assert values == sorted(values)
+
+    def test_skew_bounded_by_standard(self):
+        clock = make_clock(seed=3, skew_ppm_sigma=500.0, max_skew_ppm=100.0)
+        assert abs(clock.initial_skew_ppm) <= 100.0
+        clock.local_time_us(60_000_000)  # a minute of drift updates
+        assert abs(clock.current_skew_ppm) <= 100.0
+
+    def test_drift_changes_skew(self):
+        clock = make_clock(seed=5, drift_ppm_per_s_sigma=5.0)
+        initial = clock.current_skew_ppm
+        clock.local_time_us(30_000_000)
+        assert clock.current_skew_ppm != initial
+
+    def test_two_clocks_diverge(self):
+        a = make_clock(seed=11, offset_spread_us=0.0, skew_ppm_sigma=50.0)
+        b = make_clock(seed=12, offset_spread_us=0.0, skew_ppm_sigma=50.0)
+        t = 10_000_000
+        assert a.local_time_us(t) != b.local_time_us(t)
+
+    def test_perfect_clock(self):
+        clock = PerfectClock()
+        assert clock.local_time_us(12345) == 12345
+        assert clock.current_skew_ppm == 0.0

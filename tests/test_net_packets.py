@@ -1,0 +1,114 @@
+"""Unit tests for the network packet model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packets import (
+    ArpPacket,
+    IpPacket,
+    IpProto,
+    PacketParseError,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+    arp_to_bytes,
+    format_ip,
+    ip_to_bytes,
+    packet_from_bytes,
+    parse_ip,
+    try_parse_packet,
+)
+
+
+class TestIpText:
+    def test_round_trip(self):
+        assert format_ip(parse_ip("10.1.2.3")) == "10.1.2.3"
+
+    def test_parse_rejects_bad(self):
+        with pytest.raises(ValueError):
+            parse_ip("10.1.2")
+        with pytest.raises(ValueError):
+            parse_ip("10.1.2.300")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_format_parse_inverse(self, addr):
+        assert parse_ip(format_ip(addr)) == addr
+
+
+class TestTcpSegment:
+    def test_seq_end_counts_payload(self):
+        seg = TcpSegment(1, 2, seq=100, ack=0, flags=TcpFlags.ACK, payload_len=50)
+        assert seg.seq_end == 150
+
+    def test_syn_consumes_sequence(self):
+        seg = TcpSegment(1, 2, seq=100, ack=0, flags=TcpFlags.SYN)
+        assert seg.seq_end == 101
+
+    def test_fin_with_payload(self):
+        seg = TcpSegment(
+            1, 2, seq=100, ack=0,
+            flags=TcpFlags.FIN | TcpFlags.ACK, payload_len=10,
+        )
+        assert seg.seq_end == 111
+
+    def test_flag_properties(self):
+        seg = TcpSegment(1, 2, 0, 0, TcpFlags.SYN | TcpFlags.ACK)
+        assert seg.is_syn and seg.is_ack and not seg.is_fin
+
+    def test_seq_end_wraps(self):
+        seg = TcpSegment(1, 2, seq=0xFFFFFFF0, ack=0,
+                         flags=TcpFlags.ACK, payload_len=0x20)
+        assert seg.seq_end == 0x10
+
+
+class TestSerialization:
+    def test_tcp_round_trip(self):
+        packet = IpPacket(
+            parse_ip("10.0.0.1"),
+            parse_ip("172.16.0.2"),
+            TcpSegment(4321, 80, seq=1000, ack=2000,
+                       flags=TcpFlags.ACK | TcpFlags.PSH, payload_len=1460),
+        )
+        decoded = packet_from_bytes(ip_to_bytes(packet))
+        assert decoded == packet
+        assert decoded.proto is IpProto.TCP
+
+    def test_udp_round_trip(self):
+        packet = IpPacket(1, 2, UdpDatagram(1111, 2222, payload_len=99))
+        assert packet_from_bytes(ip_to_bytes(packet)) == packet
+
+    def test_arp_round_trip(self):
+        packet = ArpPacket(1, b"\x01" * 6, 100, b"\x00" * 6, 200)
+        decoded = packet_from_bytes(arp_to_bytes(packet))
+        assert decoded == packet
+        assert decoded.is_request
+
+    def test_truncated_payload_filler_still_parses(self):
+        packet = IpPacket(
+            1, 2,
+            TcpSegment(1, 2, 0, 0, TcpFlags.ACK, payload_len=1460),
+        )
+        raw = ip_to_bytes(packet)[:40]  # snap like a 200-byte capture would
+        assert packet_from_bytes(raw) == packet
+
+    def test_garbage_raises(self):
+        with pytest.raises(PacketParseError):
+            packet_from_bytes(b"garbage!" * 4)
+
+    def test_try_parse_returns_none(self):
+        assert try_parse_packet(b"xx") is None
+        assert try_parse_packet(b"") is None
+
+    @given(
+        src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        length=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_tcp_fields_survive(self, src, dst, seq, length):
+        packet = IpPacket(
+            src, dst,
+            TcpSegment(1, 2, seq, 0, TcpFlags.ACK, payload_len=length),
+        )
+        assert packet_from_bytes(ip_to_bytes(packet)) == packet

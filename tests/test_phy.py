@@ -1,0 +1,183 @@
+"""Unit tests for the propagation and reception models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.rates import RATE_1, RATE_11, RATE_54
+from repro.phy.noisefloor import BroadbandInterferer, ambient_interference_dbm
+from repro.phy.propagation import PropagationModel, distance_m
+from repro.phy.reception import (
+    ReceptionModel,
+    ReceptionOutcome,
+    combine_power_dbm,
+    decode_probability,
+    sinr_db,
+)
+
+
+def model(shadowing=0.0):
+    return PropagationModel(shadowing_sigma_db=shadowing)
+
+
+class TestPropagation:
+    def test_loss_grows_with_distance(self):
+        m = model()
+        near = m.path_loss_db((0, 0, 0), (5, 0, 0))
+        far = m.path_loss_db((0, 0, 0), (50, 0, 0))
+        assert far > near
+
+    def test_loss_symmetric(self):
+        m = model(shadowing=4.0)
+        a, b = (3.0, 7.0, 2.5), (40.0, 12.0, 6.5)
+        assert m.path_loss_db(a, b) == pytest.approx(m.path_loss_db(b, a))
+
+    def test_floor_crossing_adds_loss(self):
+        m = model()
+        # Same 10 m separation, with and without a floor crossing.
+        x = math.sqrt(10.0**2 - 4.0**2)
+        same_floor = m.path_loss_db((0, 0, 2.5), (10, 0, 2.5))
+        one_floor = m.path_loss_db((0, 0, 2.5), (x, 0, 6.5))
+        assert one_floor == pytest.approx(same_floor + m.floor_loss_db)
+
+    def test_sub_meter_clamped_to_reference(self):
+        m = model()
+        assert m.path_loss_db((0, 0, 0), (0.1, 0, 0)) == pytest.approx(40.0)
+
+    def test_shadowing_stable_across_calls(self):
+        m = model(shadowing=4.0)
+        a, b = (1.0, 2.0, 2.5), (30.0, 4.0, 2.5)
+        assert m.path_loss_db(a, b) == m.path_loss_db(a, b)
+
+    def test_shadowing_varies_between_links(self):
+        m = model(shadowing=4.0)
+        base = (0.0, 0.0, 2.5)
+        losses = {
+            round(m.path_loss_db(base, (20.0 + dx, 5.0, 2.5)), 3)
+            for dx in range(8)
+        }
+        assert len(losses) > 4  # not all equal: shadowing is per-link
+
+    def test_rssi_is_power_minus_loss(self):
+        m = model()
+        loss = m.path_loss_db((0, 0, 0), (10, 0, 0))
+        assert m.rssi_dbm(15.0, (0, 0, 0), (10, 0, 0)) == pytest.approx(15.0 - loss)
+
+    @given(
+        x=st.floats(min_value=1.0, max_value=100.0),
+        y=st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_loss_always_above_reference(self, x, y):
+        assert model().path_loss_db((0, 0, 0), (x, y, 0)) >= 40.0
+
+    def test_distance(self):
+        assert distance_m((0, 0, 0), (3, 4, 0)) == pytest.approx(5.0)
+
+
+class TestSinrMath:
+    def test_combine_power_of_equal_sources(self):
+        # Two equal powers sum to +3 dB.
+        assert combine_power_dbm([-60.0, -60.0]) == pytest.approx(-57.0, abs=0.05)
+
+    def test_combine_empty_is_minus_inf(self):
+        assert combine_power_dbm([]) == -math.inf
+
+    def test_sinr_without_interference_is_snr(self):
+        assert sinr_db(-60.0, [], noise_floor_dbm=-94.0) == pytest.approx(34.0)
+
+    def test_interference_lowers_sinr(self):
+        clean = sinr_db(-60.0, [], noise_floor_dbm=-94.0)
+        jammed = sinr_db(-60.0, [-65.0], noise_floor_dbm=-94.0)
+        assert jammed < clean
+
+    def test_decode_probability_monotone_in_snr(self):
+        probs = [decode_probability(snr, RATE_11) for snr in range(0, 30, 2)]
+        assert probs == sorted(probs)
+
+    def test_low_rate_more_robust(self):
+        assert decode_probability(5.0, RATE_1) > decode_probability(5.0, RATE_54)
+
+
+class TestReceptionModel:
+    def make(self, seed=0):
+        return ReceptionModel(rng=np.random.default_rng(seed))
+
+    def test_strong_signal_decodes(self):
+        m = self.make()
+        outcomes = {m.receive(-40.0, RATE_11) for _ in range(50)}
+        assert outcomes == {ReceptionOutcome.DECODED}
+
+    def test_below_sensitivity_missed(self):
+        m = self.make()
+        assert m.receive(-95.0, RATE_1) is ReceptionOutcome.MISSED
+
+    def test_marginal_signal_mixes_outcomes(self):
+        m = self.make()
+        outcomes = [m.receive(-84.0, RATE_11) for _ in range(300)]
+        kinds = set(outcomes)
+        assert ReceptionOutcome.DECODED not in kinds or len(kinds) > 1
+
+    def test_deep_failure_is_phy_error(self):
+        m = self.make()
+        outcomes = [m.receive(-91.0, RATE_54) for _ in range(100)]
+        assert ReceptionOutcome.PHY_ERROR in outcomes
+
+    def test_interference_causes_losses(self):
+        m = self.make()
+        clean = sum(
+            m.receive(-70.0, RATE_11) is ReceptionOutcome.DECODED
+            for _ in range(200)
+        )
+        jammed = sum(
+            m.receive(-70.0, RATE_11, interferers_dbm=[-68.0])
+            is ReceptionOutcome.DECODED
+            for _ in range(200)
+        )
+        assert jammed < clean
+
+    def test_missed_not_observed(self):
+        assert not ReceptionOutcome.MISSED.observed
+        assert ReceptionOutcome.CORRUPT.observed
+
+    def test_corrupt_bytes_changes_content(self):
+        m = self.make()
+        raw = bytes(range(64)) * 2
+        assert m.corrupt_bytes(raw) != raw
+
+    def test_corrupt_bytes_empty_input(self):
+        assert self.make().corrupt_bytes(b"") == b""
+
+    def test_corrupt_bytes_never_longer(self):
+        m = self.make()
+        raw = bytes(200)
+        for _ in range(50):
+            assert len(m.corrupt_bytes(raw)) <= len(raw)
+
+
+class TestBroadbandInterferer:
+    def test_duty_cycle(self):
+        source = BroadbandInterferer(
+            position=(0, 0, 0), period_us=100, duty_cycle=0.5
+        )
+        assert source.active_at(10)
+        assert not source.active_at(60)
+        assert source.active_at(110)
+
+    def test_inactive_outside_window(self):
+        source = BroadbandInterferer(
+            position=(0, 0, 0), start_us=1000, stop_us=2000
+        )
+        assert not source.active_at(500)
+        assert not source.active_at(2500)
+
+    def test_ambient_levels_filter_inactive(self):
+        prop = PropagationModel(shadowing_sigma_db=0.0)
+        source = BroadbandInterferer(
+            position=(0, 0, 0), period_us=100, duty_cycle=0.5
+        )
+        on = ambient_interference_dbm([source], 10, (5, 0, 0), prop)
+        off = ambient_interference_dbm([source], 60, (5, 0, 0), prop)
+        assert len(on) == 1 and len(off) == 0

@@ -1,0 +1,191 @@
+"""Unit tests for building geometry, placement, and scenario config."""
+
+import numpy as np
+import pytest
+
+from repro.dot11.channels import ORTHOGONAL_CHANNELS
+from repro.sim.building import (
+    Building,
+    assign_channels,
+    pod_reduction_order,
+)
+from repro.sim.scenario import ClockConfig, ScenarioConfig, WorkloadConfig
+from repro.sim.workload import (
+    FlowArchetype,
+    FlowRequest,
+    flow_counts_by_archetype,
+    generate_flows,
+)
+
+
+class TestBuilding:
+    def test_ap_count(self):
+        aps = Building(floors=4).place_aps(per_floor=10)
+        assert len(aps) == 40
+        assert {p.floor for p in aps} == {0, 1, 2, 3}
+
+    def test_aps_in_corridor(self):
+        building = Building()
+        assert all(
+            p.y == building.corridor_y_m for p in building.place_aps(5)
+        )
+
+    def test_pod_count_paper_scale(self):
+        pods = Building(floors=4).place_pods(39)
+        assert len(pods) == 39
+
+    def test_pods_within_building(self):
+        building = Building()
+        for pod in building.place_pods(39):
+            assert 0 <= pod.x <= building.length_m
+            assert 0 <= pod.y <= building.wing_width_m
+
+    def test_clients_within_building(self):
+        building = Building()
+        rng = np.random.default_rng(1)
+        for client in building.place_clients(100, rng):
+            assert 0 <= client.x <= building.length_m
+            assert 0 <= client.y <= building.wing_width_m
+
+    def test_corner_clients_exist(self):
+        building = Building()
+        rng = np.random.default_rng(2)
+        clients = building.place_clients(200, rng, corner_fraction=0.5)
+        corner = [c for c in clients if c.x < 2.0 or c.x > building.length_m - 2.0]
+        assert len(corner) > 30
+
+    def test_wing_assignment(self):
+        building = Building()
+        assert building.wing_of(1.0) == 0
+        assert building.wing_of(building.length_m - 1.0) == 1
+
+
+class TestChannelAssignment:
+    def test_round_robin_per_floor(self):
+        building = Building(floors=2)
+        aps = building.place_aps(per_floor=6)
+        channels = assign_channels(aps)
+        floor0 = [c.number for a, c in zip(aps, channels) if a.floor == 0]
+        assert floor0 == [1, 6, 11, 1, 6, 11]
+
+    def test_only_orthogonal_channels_used(self):
+        channels = assign_channels(Building().place_aps(10))
+        assert {c.number for c in channels} <= set(ORTHOGONAL_CHANNELS)
+
+
+class TestPodReduction:
+    def test_order_is_permutation(self):
+        pods = Building().place_pods(20)
+        order = pod_reduction_order(pods)
+        assert sorted(order) == list(range(20))
+
+    def test_first_removed_is_most_redundant(self):
+        # Three pods: two nearly co-located, one far away.  One of the pair
+        # must be removed first.
+        from repro.sim.building import Placement
+
+        pods = [
+            Placement((0.0, 0.0, 2.5), 0, 0),
+            Placement((0.5, 0.0, 2.5), 0, 0),
+            Placement((50.0, 0.0, 2.5), 0, 0),
+        ]
+        order = pod_reduction_order(pods)
+        assert order[0] in (0, 1)
+        assert order[-1] == 2 or order[-2] == 2
+
+
+class TestScenarioConfig:
+    def test_building_scale_matches_paper(self):
+        config = ScenarioConfig.building()
+        assert config.n_aps == 40  # nominal grid before wing exclusion
+        assert config.uncovered_wing
+        # The deployed fleet (after removing the uncovered wing) lands on
+        # the paper's ~39 pods / ~156 radios.
+        from repro.sim.building import Building
+
+        pods = Building(floors=config.floors).place_pods(
+            config.n_pods, exclude_wings=[(0, 0)]
+        )
+        assert 37 <= len(pods) <= 41
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_us=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(fraction_11b_clients=1.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_pods=0)
+
+    def test_overrides(self):
+        config = ScenarioConfig.tiny(seed=3, n_clients=9)
+        assert config.n_clients == 9 and config.seed == 3
+
+    def test_diurnal_curve_peaks_midday(self):
+        config = ScenarioConfig.building(duration_us=24_000_000)
+        noon = config.diurnal_activity(int(13.5 / 24 * config.duration_us))
+        night = config.diurnal_activity(int(3.0 / 24 * config.duration_us))
+        assert noon > 0.9
+        assert night < 0.3
+
+    def test_non_diurnal_flat(self):
+        config = ScenarioConfig.small()
+        assert config.diurnal_activity(0) == 1.0
+        assert config.diurnal_activity(config.duration_us // 2) == 1.0
+
+    def test_workload_weight_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(web_weight=0, ssh_weight=0, scp_weight=0).archetype_weights()
+
+
+class TestWorkloadGeneration:
+    def test_flows_sorted_and_in_range(self):
+        config = ScenarioConfig.small(seed=5)
+        flows = generate_flows(config, np.random.default_rng(5))
+        assert flows == sorted(flows, key=lambda f: f.start_us)
+        assert all(0 <= f.start_us < config.duration_us for f in flows)
+
+    def test_flow_volume_scales_with_clients(self):
+        rng = np.random.default_rng(7)
+        few = generate_flows(ScenarioConfig.small(n_clients=4), rng)
+        rng = np.random.default_rng(7)
+        many = generate_flows(ScenarioConfig.small(n_clients=40), rng)
+        assert len(many) > len(few)
+
+    def test_all_archetypes_appear(self):
+        config = ScenarioConfig.small(
+            seed=11, n_clients=30, duration_us=10_000_000
+        )
+        flows = generate_flows(config, np.random.default_rng(11))
+        counts = flow_counts_by_archetype(flows)
+        assert all(counts[a] > 0 for a in FlowArchetype)
+
+    def test_ssh_uses_small_segments(self):
+        config = ScenarioConfig.small(seed=13, n_clients=30)
+        flows = generate_flows(config, np.random.default_rng(13))
+        ssh = [f for f in flows if f.archetype is FlowArchetype.SSH]
+        assert ssh and all(f.segment_bytes < 200 for f in ssh)
+
+    def test_diurnal_run_thins_overnight(self):
+        config = ScenarioConfig.building(
+            seed=17, n_clients=40, duration_us=20_000_000
+        )
+        flows = generate_flows(config, np.random.default_rng(17))
+        day = [
+            f
+            for f in flows
+            if 0.4 < f.start_us / config.duration_us < 0.7
+        ]
+        night = [f for f in flows if f.start_us / config.duration_us < 0.2]
+        assert len(day) > len(night)
+
+    def test_flow_request_validation(self):
+        with pytest.raises(ValueError):
+            FlowRequest(0, 0, FlowArchetype.WEB, True, 0, 1460)
+        with pytest.raises(ValueError):
+            FlowRequest(0, 0, FlowArchetype.WEB, True, 100, 0)
+
+    def test_deterministic_given_seed(self):
+        config = ScenarioConfig.small(seed=23)
+        a = generate_flows(config, np.random.default_rng(23))
+        b = generate_flows(config, np.random.default_rng(23))
+        assert a == b

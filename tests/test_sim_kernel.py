@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+
+
+class TestKernel:
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.at(30, lambda: fired.append("c"))
+        kernel.at(10, lambda: fired.append("a"))
+        kernel.at(20, lambda: fired.append("b"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        kernel = Kernel()
+        fired = []
+        for i in range(5):
+            kernel.at(100, lambda i=i: fired.append(i))
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_during_run(self):
+        kernel = Kernel()
+        seen = []
+        kernel.at(42, lambda: seen.append(kernel.now_us))
+        kernel.run()
+        assert seen == [42]
+
+    def test_after_is_relative(self):
+        kernel = Kernel()
+        seen = []
+        kernel.at(100, lambda: kernel.after(50, lambda: seen.append(kernel.now_us)))
+        kernel.run()
+        assert seen == [150]
+
+    def test_cannot_schedule_in_past(self):
+        kernel = Kernel()
+        kernel.at(100, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel().after(-1, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.at(10, lambda: fired.append(1))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_stops_at_boundary(self):
+        kernel = Kernel()
+        fired = []
+        kernel.at(10, lambda: fired.append(10))
+        kernel.at(20, lambda: fired.append(20))
+        kernel.run_until(15)
+        assert fired == [10]
+        assert kernel.now_us == 15
+        kernel.run_until(25)
+        assert fired == [10, 20]
+
+    def test_events_scheduled_during_run(self):
+        kernel = Kernel()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                kernel.after(10, lambda: chain(n + 1))
+
+        kernel.at(0, lambda: chain(0))
+        kernel.run()
+        assert fired == [0, 1, 2, 3]
+        assert kernel.now_us == 30
+
+    def test_pending_counts_live_events(self):
+        kernel = Kernel()
+        h1 = kernel.at(10, lambda: None)
+        kernel.at(20, lambda: None)
+        assert kernel.pending() == 2
+        h1.cancel()
+        assert kernel.pending() == 1
+
+    def test_events_run_counter(self):
+        kernel = Kernel()
+        for t in range(5):
+            kernel.at(t, lambda: None)
+        kernel.run()
+        assert kernel.events_run == 5

@@ -1,0 +1,127 @@
+"""Integration tests for the end-to-end scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.dot11.frame import FrameType
+from repro.jtrace.records import RecordKind
+from repro.net.packets import ArpPacket, try_parse_packet
+from repro.sim import ScenarioConfig, run_scenario
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_scenario(ScenarioConfig.small(seed=42))
+
+
+class TestRunnerBasics:
+    def test_radio_count(self, small_run):
+        assert len(small_run.radio_traces) == small_run.config.n_radios
+
+    def test_all_stations_associate(self, small_run):
+        assert all(s.associated for s in small_run.stations)
+
+    def test_ground_truth_time_ordered(self, small_run):
+        starts = [tx.start_us for tx in small_run.ground_truth]
+        assert starts == sorted(starts)
+
+    def test_traces_locally_time_ordered(self, small_run):
+        for trace in small_run.radio_traces:
+            stamps = [r.timestamp_us for r in trace]
+            assert stamps == sorted(stamps)
+
+    def test_most_flows_complete(self, small_run):
+        outcomes = small_run.flow_outcomes
+        assert outcomes
+        completed = sum(o.completed for o in outcomes)
+        assert completed / len(outcomes) > 0.6
+
+    def test_duplicate_observations_exist(self, small_run):
+        """Multiple radios hear the same transmission — the property trace
+        merging exploits ("on average the monitoring platform makes three
+        observations of every observed transmission", Section 7.1)."""
+        from collections import Counter
+
+        counts = Counter()
+        for trace in small_run.radio_traces:
+            for record in trace:
+                if record.kind is RecordKind.VALID:
+                    counts[record.truth_txid] += 1
+        multiply_observed = sum(1 for c in counts.values() if c >= 2)
+        assert multiply_observed > len(counts) * 0.5
+
+    def test_error_records_present(self, small_run):
+        kinds = {
+            record.kind
+            for trace in small_run.radio_traces
+            for record in trace
+        }
+        assert RecordKind.CORRUPT in kinds or RecordKind.PHY_ERROR in kinds
+
+    def test_wired_trace_nonempty(self, small_run):
+        assert small_run.wired_trace
+        downlink = [r for r in small_run.wired_trace if r.downlink]
+        uplink = [r for r in small_run.wired_trace if not r.downlink]
+        assert downlink and uplink
+
+    def test_arp_broadcasts_on_air(self, small_run):
+        arp_frames = [
+            tx
+            for tx in small_run.ground_truth
+            if tx.frame.ftype is FrameType.DATA
+            and tx.frame.is_broadcast
+            and isinstance(try_parse_packet(tx.frame.body), ArpPacket)
+        ]
+        assert arp_frames
+        # Broadcasts always go at the lowest rate (Section 7.1).
+        assert all(tx.rate.mbps == 1.0 for tx in arp_frames)
+
+    def test_beacons_from_every_active_ap(self, small_run):
+        beacon_sources = {
+            tx.frame.addr2
+            for tx in small_run.ground_truth
+            if tx.frame.ftype is FrameType.BEACON
+        }
+        assert len(beacon_sources) == len(small_run.aps)
+
+    def test_pod_reduction_order_valid(self, small_run):
+        order = small_run.pod_reduction_order()
+        assert sorted(order) == list(range(small_run.config.n_pods))
+
+    def test_radios_of_pods(self, small_run):
+        radios = small_run.radios_of_pods([0, 1])
+        assert len(radios) == 8
+        assert len(set(radios)) == 8
+
+    def test_determinism(self):
+        a = run_scenario(ScenarioConfig.tiny(seed=9))
+        b = run_scenario(ScenarioConfig.tiny(seed=9))
+        assert len(a.ground_truth) == len(b.ground_truth)
+        assert [t.txid for t in a.ground_truth] == [t.txid for t in b.ground_truth]
+        ra = [r for tr in a.radio_traces for r in tr]
+        rb = [r for tr in b.radio_traces for r in tr]
+        assert ra == rb
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(ScenarioConfig.tiny(seed=1))
+        b = run_scenario(ScenarioConfig.tiny(seed=2))
+        assert len(a.ground_truth) != len(b.ground_truth) or [
+            t.frame for t in a.ground_truth
+        ] != [t.frame for t in b.ground_truth]
+
+
+class TestProtectionInRunner:
+    def test_11b_presence_triggers_protection(self):
+        art = run_scenario(
+            ScenarioConfig.small(seed=7, fraction_11b_clients=0.5)
+        )
+        assert any(ap.protection_enabled for ap in art.aps)
+
+    def test_cts_to_self_appears(self):
+        art = run_scenario(
+            ScenarioConfig.small(seed=7, fraction_11b_clients=0.5)
+        )
+        cts = [
+            tx for tx in art.ground_truth if tx.frame.ftype is FrameType.CTS
+        ]
+        assert cts
