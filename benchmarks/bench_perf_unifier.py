@@ -4,12 +4,23 @@
 function of the number of radios" — checked against both our compressed
 trace (which is ~4x denser in events/second than the paper's day) and the
 paper's own average event rate (2.7 B events / 24 h ~ 31 k events/s).
+
+The merge runs through the sharded streaming engine
+(:class:`repro.core.unify.ShardedUnifier`); a radios-scaling sweep over
+fleet subsets is persisted to ``BENCH_merge.json`` at the repo root so
+the perf trajectory is tracked across PRs.
 """
 
-from repro.experiments.perf import run_merge_performance
+import json
+from pathlib import Path
+
+from repro.experiments.perf import run_merge_performance, run_radio_scaling
 
 #: The paper's day-long trace: 2.7 B events over 86,400 seconds.
 PAPER_EVENTS_PER_SECOND = 2_700_000_000 / 86_400
+
+#: Where the cross-PR perf trajectory is recorded.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_merge.json"
 
 
 def test_merge_faster_than_paper_realtime(benchmark, building_run, capsys):
@@ -26,3 +37,32 @@ def test_merge_faster_than_paper_realtime(benchmark, building_run, capsys):
         )
     # Single pass, and faster than real time at the paper's event rate.
     assert paper_factor > 1.0
+
+
+def test_merge_scales_with_radios(building_run, capsys):
+    """The paper's scaling requirement: sweep fleet subsets, persist them."""
+    points = run_radio_scaling(building_run)
+    full = run_merge_performance(building_run)
+    with capsys.disabled():
+        print("\n=== Radio scaling sweep ===")
+        for point in points:
+            print(
+                f"  {point.n_radios:4d} radios / {point.n_shards} shards: "
+                f"{point.records_per_second:>10,.0f} rec/s  "
+                f"({point.realtime_factor:.2f}x real time)"
+            )
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "merge_performance",
+                "paper_events_per_second": PAPER_EVENTS_PER_SECOND,
+                "full_fleet": full.as_dict(),
+                "radio_scaling": [p.as_dict() for p in points],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # Every sweep point must stay faster than the paper's event rate.
+    for point in points:
+        assert point.records_per_second > PAPER_EVENTS_PER_SECOND

@@ -14,12 +14,20 @@ The assembler is a single pass over valid jframes per channel.  Its output
 is a time-ordered list of :class:`TransmissionAttempt`, including *partial*
 attempts (ACK without DATA, CTS without DATA) that the exchange FSM later
 resolves or discards.
+
+The assembler is incremental: :meth:`AttemptAssembler.feed` accepts one
+jframe from the unification stream and returns the attempts that can no
+longer change (their ACK arrived or its Duration-field deadline passed),
+in creation order; :meth:`AttemptAssembler.finish` flushes the rest.  The
+batch :meth:`AttemptAssembler.assemble` is a thin wrapper, so the one-pass
+pipeline and the batch path share one implementation.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ...dot11.address import MacAddress
 from ...dot11.constants import SIFS_US, SLOT_TIME_LONG_US
@@ -124,84 +132,115 @@ class AttemptAssembler:
 
     def __init__(self) -> None:
         self.stats = AttemptStats()
+        # Per-channel pending state.
+        self._pending_cts: Dict[int, Dict[MacAddress, JFrame]] = {}
+        self._pending_data: Dict[int, List[_PendingData]] = {}
+        # Attempts in creation order; an attempt leaves the queue once it
+        # is *sealed* (no future jframe can mutate it).  ``_unsealed``
+        # holds the ids of attempts still awaiting an ACK or its deadline.
+        self._emit: Deque[TransmissionAttempt] = deque()
+        self._unsealed: Set[int] = set()
+        self._data_attempts = 0
 
-    def assemble(self, jframes: Sequence[JFrame]) -> List[TransmissionAttempt]:
-        """Group a time-ordered jframe stream into attempts.
+    def feed(self, jframe: JFrame) -> List[TransmissionAttempt]:
+        """Consume one time-ordered jframe; return newly sealed attempts.
 
         Only frame types that participate in data exchanges matter here;
         management frames (beacons, probes, association) form single-frame
         attempts of their own so higher layers can still see them.
+        Returned attempts are in creation order and immutable from here
+        on, so they can flow straight into the exchange FSM.
         """
-        attempts: List[TransmissionAttempt] = []
-        # Per-channel pending state.
-        pending_cts: Dict[int, Dict[MacAddress, JFrame]] = {}
-        pending_data: Dict[int, List[_PendingData]] = {}
+        if jframe.frame is None:
+            return []
+        self.stats.jframes_in += 1
+        channel = jframe.channel
+        cts_map = self._pending_cts.setdefault(channel, {})
+        data_list = self._pending_data.setdefault(channel, [])
+        self._expire(data_list, cts_map, jframe.timestamp_us)
+        frame = jframe.frame
 
-        for jframe in jframes:
-            if jframe.frame is None:
-                continue
-            self.stats.jframes_in += 1
-            channel = jframe.channel
-            cts_map = pending_cts.setdefault(channel, {})
-            data_list = pending_data.setdefault(channel, [])
-            self._expire(data_list, cts_map, jframe.timestamp_us)
-            frame = jframe.frame
-
-            if frame.ftype is FrameType.CTS:
-                # CTS-to-self: RA names the protected sender.  (A CTS
-                # answering an RTS looks identical; the sender match below
-                # disambiguates in practice.)
-                cts_map[frame.addr1] = jframe
-            elif frame.ftype is FrameType.ACK:
-                self._match_ack(jframe, data_list, attempts)
-            elif frame.ftype.carries_sequence:
-                attempt = TransmissionAttempt(
-                    transmitter=frame.addr2,
-                    receiver=frame.addr1,
-                    data=jframe,
+        if frame.ftype is FrameType.CTS:
+            # CTS-to-self: RA names the protected sender.  (A CTS
+            # answering an RTS looks identical; the sender match below
+            # disambiguates in practice.)
+            cts_map[frame.addr1] = jframe
+        elif frame.ftype is FrameType.ACK:
+            self._match_ack(jframe, data_list)
+        elif frame.ftype.carries_sequence:
+            attempt = TransmissionAttempt(
+                transmitter=frame.addr2,
+                receiver=frame.addr1,
+                data=jframe,
+            )
+            # Attach a protection CTS from the same sender if its
+            # reservation window covers this DATA frame.
+            if frame.addr2 is not None and frame.addr2 in cts_map:
+                cts = cts_map.pop(frame.addr2)
+                # The CTS Duration field reserved the air through the
+                # end of the protected exchange; the DATA frame must
+                # start inside that reservation.
+                if (
+                    jframe.start_us
+                    <= cts.end_us
+                    + cts.frame.duration_us
+                    + CTS_PENDING_SLACK_US
+                ):
+                    attempt.cts = cts
+                else:
+                    self.stats.cts_orphaned += 1
+            self._emit.append(attempt)
+            self._data_attempts += 1
+            self.stats.attempts += 1
+            if frame.expects_ack:
+                deadline = (
+                    jframe.end_us
+                    + frame.duration_us
+                    + ACK_MATCH_SLACK_US
                 )
-                # Attach a protection CTS from the same sender if its
-                # reservation window covers this DATA frame.
-                if frame.addr2 is not None and frame.addr2 in cts_map:
-                    cts = cts_map.pop(frame.addr2)
-                    # The CTS Duration field reserved the air through the
-                    # end of the protected exchange; the DATA frame must
-                    # start inside that reservation.
-                    if (
-                        jframe.start_us
-                        <= cts.end_us
-                        + cts.frame.duration_us
-                        + CTS_PENDING_SLACK_US
-                    ):
-                        attempt.cts = cts
-                    else:
-                        self.stats.cts_orphaned += 1
-                attempts.append(attempt)
-                self.stats.attempts += 1
-                if frame.expects_ack:
-                    deadline = (
-                        jframe.end_us
-                        + frame.duration_us
-                        + ACK_MATCH_SLACK_US
-                    )
-                    data_list.append(_PendingData(attempt, deadline))
-            # RTS and other control frames: ignored (the production network
-            # does not use RTS/CTS exchanges; CTS-to-self is handled above).
+                data_list.append(_PendingData(attempt, deadline))
+                self._unsealed.add(id(attempt))
+        # RTS and other control frames: ignored (the production network
+        # does not use RTS/CTS exchanges; CTS-to-self is handled above).
+        return self._drain()
 
-        for data_list in pending_data.values():
-            data_list.clear()
-        self.stats.attempts = len(
-            [a for a in attempts if a.has_data]
-        ) + self.stats.acks_orphaned
+    def finish(self) -> List[TransmissionAttempt]:
+        """Flush attempts still awaiting an ACK deadline; fix up stats.
+
+        Also resets the per-run pending state, so the assembler can be
+        reused for another jframe stream (counters in ``stats`` keep
+        accumulating, as they always have).
+        """
+        self._pending_data.clear()
+        self._pending_cts.clear()
+        self._unsealed.clear()
+        self.stats.attempts = self._data_attempts + self.stats.acks_orphaned
+        self._data_attempts = 0
+        return self._drain()
+
+    def assemble(self, jframes: Sequence[JFrame]) -> List[TransmissionAttempt]:
+        """Batch wrapper: feed every jframe, then flush."""
+        attempts: List[TransmissionAttempt] = []
+        for jframe in jframes:
+            attempts.extend(self.feed(jframe))
+        attempts.extend(self.finish())
         return attempts
 
     # --- helpers ---------------------------------------------------------
+
+    def _drain(self) -> List[TransmissionAttempt]:
+        """Pop the sealed prefix of the creation-order emission queue."""
+        emit = self._emit
+        unsealed = self._unsealed
+        out: List[TransmissionAttempt] = []
+        while emit and id(emit[0]) not in unsealed:
+            out.append(emit.popleft())
+        return out
 
     def _match_ack(
         self,
         ack: JFrame,
         data_list: List[_PendingData],
-        attempts: List[TransmissionAttempt],
     ) -> None:
         """Assign an ACK to the pending DATA whose Duration window fits.
 
@@ -224,23 +263,29 @@ class AttemptAssembler:
         if best is not None:
             best.attempt.ack = ack
             data_list.remove(best)
+            self._unsealed.discard(id(best.attempt))
             self.stats.acks_matched += 1
         else:
             # Evidence of a DATA frame the platform missed entirely.
-            attempts.append(
+            self._emit.append(
                 TransmissionAttempt(
                     transmitter=target, receiver=None, ack=ack
                 )
             )
             self.stats.acks_orphaned += 1
 
-    @staticmethod
     def _expire(
+        self,
         data_list: List[_PendingData],
         cts_map: Dict[MacAddress, JFrame],
         now_us: int,
     ) -> None:
-        data_list[:] = [p for p in data_list if p.ack_deadline_us >= now_us]
+        kept = [p for p in data_list if p.ack_deadline_us >= now_us]
+        if len(kept) != len(data_list):
+            for pending in data_list:
+                if pending.ack_deadline_us < now_us:
+                    self._unsealed.discard(id(pending.attempt))
+            data_list[:] = kept
         stale = [
             addr
             for addr, cts in cts_map.items()

@@ -113,54 +113,55 @@ class _SenderState:
 
 
 class ExchangeAssembler:
-    """Per-transmitter FSM composing attempts into frame exchanges."""
+    """Per-transmitter FSM composing attempts into frame exchanges.
+
+    Incremental API: :meth:`feed` consumes one attempt from the stream and
+    returns the exchanges it *closed* (in closure order — per-sender FSMs
+    close out of start-time order; batch callers sort at the end, and the
+    flow collector downstream is order-insensitive).  :meth:`finish`
+    closes every still-open exchange.  The batch :meth:`assemble` wraps
+    both and returns the familiar start-time-sorted list.
+    """
 
     def __init__(self, horizon_us: int = EXCHANGE_HORIZON_US) -> None:
         self.horizon_us = horizon_us
         self.stats = ExchangeStats()
+        self._senders: Dict[Optional[MacAddress], _SenderState] = {}
+        self._closed = 0
 
-    def assemble(
-        self, attempts: Sequence[TransmissionAttempt]
-    ) -> List[FrameExchange]:
-        exchanges: List[FrameExchange] = []
-        senders: Dict[Optional[MacAddress], _SenderState] = {}
+    def feed(self, attempt: TransmissionAttempt) -> List[FrameExchange]:
+        """Consume one attempt; return exchanges closed by it."""
+        closed: List[FrameExchange] = []
+        self.stats.attempts_in += 1
+        state = self._senders.setdefault(attempt.transmitter, _SenderState())
 
-        for attempt in attempts:
-            self.stats.attempts_in += 1
-            state = senders.setdefault(attempt.transmitter, _SenderState())
+        # Stale open exchange: frame exchanges complete within 500 ms.
+        if (
+            state.open_exchange is not None
+            and attempt.start_us - state.last_time_us > self.horizon_us
+        ):
+            self._close(state, closed, moved_on=False)
+        state.last_time_us = attempt.start_us
 
-            # Stale open exchange: frame exchanges complete within 500 ms.
-            if (
-                state.open_exchange is not None
-                and attempt.start_us - state.last_time_us > self.horizon_us
-            ):
-                self._close(state, exchanges, moved_on=False)
-            state.last_time_us = attempt.start_us
-
-            if attempt.is_broadcast:
-                # R1: broadcast — attempt and exchange are identical, and
-                # delivery has no link-layer meaning (no ACK expected).
-                self._close(state, exchanges, moved_on=True)
-                exchanges.append(
-                    FrameExchange(
-                        transmitter=attempt.transmitter,
-                        receiver=attempt.receiver,
-                        attempts=[attempt],
-                        delivered=True,
-                    )
+        if attempt.is_broadcast:
+            # R1: broadcast — attempt and exchange are identical, and
+            # delivery has no link-layer meaning (no ACK expected).
+            self._close(state, closed, moved_on=True)
+            closed.append(
+                FrameExchange(
+                    transmitter=attempt.transmitter,
+                    receiver=attempt.receiver,
+                    attempts=[attempt],
+                    delivered=True,
                 )
-                continue
-
-            if attempt.seq is None:
-                # An orphan (ACK- or CTS-only) attempt: queue until data
-                # resolves its position.
-                state.orphan_queue.append(attempt)
-                continue
-
-            if state.last_seq is None or state.open_exchange is None:
-                self._open_new(state, attempt, exchanges)
-                continue
-
+            )
+        elif attempt.seq is None:
+            # An orphan (ACK- or CTS-only) attempt: queue until data
+            # resolves its position.
+            state.orphan_queue.append(attempt)
+        elif state.last_seq is None or state.open_exchange is None:
+            self._open_new(state, attempt, closed)
+        else:
             delta = (attempt.seq - state.last_seq) % SEQ_MODULO
             if delta == 0:
                 # R2: retransmission of the open exchange's frame.
@@ -174,19 +175,42 @@ class ExchangeAssembler:
                     self.stats.attempts_needing_inference += 1
             elif delta == 1:
                 # R3: a new exchange; first resolve queued orphans.
-                self._resolve_orphans(state, exchanges)
-                self._open_new(state, attempt, exchanges, moved_on=True)
+                self._resolve_orphans(state, closed)
+                self._open_new(state, attempt, closed, moved_on=True)
             else:
                 # R4: sequence gap — no inference; flush.
                 self.stats.orphans_discarded += len(state.orphan_queue)
                 state.orphan_queue.clear()
-                self._open_new(state, attempt, exchanges, moved_on=False)
+                self._open_new(state, attempt, closed, moved_on=False)
 
-        for state in senders.values():
-            self._resolve_orphans(state, exchanges)
-            self._close(state, exchanges, moved_on=False)
+        self._closed += len(closed)
+        return closed
+
+    def finish(self) -> List[FrameExchange]:
+        """Close every open exchange and resolve remaining orphans.
+
+        Resets the per-sender FSM state so the assembler can be reused
+        for another attempt stream (``stats`` counters keep accumulating).
+        """
+        closed: List[FrameExchange] = []
+        for state in self._senders.values():
+            self._resolve_orphans(state, closed)
+            self._close(state, closed, moved_on=False)
+        self._closed += len(closed)
+        self.stats.exchanges = self._closed
+        self._senders.clear()
+        self._closed = 0
+        return closed
+
+    def assemble(
+        self, attempts: Sequence[TransmissionAttempt]
+    ) -> List[FrameExchange]:
+        """Batch wrapper: feed every attempt, then sort by start time."""
+        exchanges: List[FrameExchange] = []
+        for attempt in attempts:
+            exchanges.extend(self.feed(attempt))
+        exchanges.extend(self.finish())
         exchanges.sort(key=lambda e: e.start_us)
-        self.stats.exchanges = len(exchanges)
         return exchanges
 
     # --- internals --------------------------------------------------------

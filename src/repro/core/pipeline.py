@@ -7,6 +7,19 @@ One call wires together everything Sections 4 and 5 describe::
 
 ``report`` then feeds the Section 6/7 analyses (coverage, interference,
 protection mode, TCP loss) in :mod:`repro.core.analysis`.
+
+Execution is *one-pass pipelined*: the unifier's jframe stream feeds the
+attempt assembler incrementally, sealed attempts feed the exchange FSM,
+and closed exchanges feed the flow collector — all four reconstruction
+layers advance together over a single traversal of the merged timeline
+instead of running as full-list barrier phases.  The report still carries
+the complete per-layer lists (the Section 6/7 analyses consume them), but
+no stage waits for an earlier stage to finish.
+
+``unifier`` may be a plain :class:`Unifier` or a
+:class:`~repro.core.unify.sharded.ShardedUnifier` — anything exposing
+``stream_unify`` — so multi-core machines can parallelize the merge
+without touching the pipeline.
 """
 
 from __future__ import annotations
@@ -23,7 +36,7 @@ from .sync.bootstrap import (
     bootstrap_synchronization,
 )
 from .sync.skew import ClockTrack
-from .transport.flows import TcpFlow, collect_flows
+from .transport.flows import FlowCollector, TcpFlow
 from .transport.inference import InferenceStats, TransportInference
 from .unify.jframe import JFrame
 from .unify.unifier import UnificationResult, Unifier
@@ -99,6 +112,9 @@ class JigsawPipeline:
         ``bootstrap`` to skip that phase (ablations do).
         """
         started = time.perf_counter()
+        # ``sorted_by_local_time`` returns the trace itself when records
+        # are already ordered (the common case), so this no longer copies
+        # every record list.
         ordered = [trace.sorted_by_local_time() for trace in traces]
         if bootstrap is None:
             bootstrap = bootstrap_synchronization(
@@ -107,15 +123,37 @@ class JigsawPipeline:
                 window_us=self.bootstrap_window_us,
                 auto_widen=self.auto_widen_bootstrap,
             )
-        unification = self.unifier.unify(ordered, bootstrap)
 
+        # One pass: jframes stream out of the merge and straight through
+        # attempt grouping, the exchange FSM and flow binning.
+        stream = self.unifier.stream_unify(ordered, bootstrap)
         attempt_assembler = AttemptAssembler()
-        attempts = attempt_assembler.assemble(unification.jframes)
-
         exchange_assembler = ExchangeAssembler()
-        exchanges = exchange_assembler.assemble(attempts)
+        flow_collector = FlowCollector()
+        jframes: List[JFrame] = []
+        attempts: List[TransmissionAttempt] = []
+        exchanges: List[FrameExchange] = []
 
-        flows = collect_flows(exchanges)
+        def _advance(new_attempts: List[TransmissionAttempt]) -> None:
+            for attempt in new_attempts:
+                attempts.append(attempt)
+                for exchange in exchange_assembler.feed(attempt):
+                    exchanges.append(exchange)
+                    flow_collector.feed(exchange)
+
+        for jframe in stream:
+            jframes.append(jframe)
+            _advance(attempt_assembler.feed(jframe))
+        _advance(attempt_assembler.finish())
+        for exchange in exchange_assembler.finish():
+            exchanges.append(exchange)
+            flow_collector.feed(exchange)
+        exchanges.sort(key=lambda e: e.start_us)
+
+        unification = UnificationResult(
+            jframes=jframes, tracks=stream.tracks, stats=stream.stats
+        )
+        flows = flow_collector.finish()
         transport = TransportInference()
         transport_stats = transport.run(flows)
 

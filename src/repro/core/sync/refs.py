@@ -14,6 +14,7 @@ instant, which is what makes the pair a synchronization constraint.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 from ...dot11.frame import Frame
@@ -27,8 +28,11 @@ ReferenceKey = Tuple[int, int, bytes]
 #: Decoded-frame cache keyed by capture content.  Control frames (ACK, CTS)
 #: repeat byte-identical constantly, and every duplicate reception of a
 #: frame shares its bytes — the hit rate in a building trace is high.
-#: Frames are immutable, so sharing decoded objects is safe.
-_PARSE_CACHE: dict = {}
+#: Frames are immutable, so sharing decoded objects is safe.  Eviction is
+#: LRU (move-to-end on hit, evict the head): hitting the size limit ages
+#: out the coldest entry instead of discarding every hot control-frame
+#: decode at once.
+_PARSE_CACHE: "OrderedDict[Tuple[bytes, int], Optional[Frame]]" = OrderedDict()
 _PARSE_CACHE_LIMIT = 1 << 18
 
 
@@ -41,9 +45,11 @@ def parse_record_frame(record: TraceRecord) -> Optional[Frame]:
     """
     if not record.kind.has_frame or not record.snap:
         return None
+    cache = _PARSE_CACHE
     key = (record.snap, record.frame_len)
-    cached = _PARSE_CACHE.get(key, False)
+    cached = cache.get(key, False)
     if cached is not False:
+        cache.move_to_end(key)
         return cached
     if record.frame_len <= len(record.snap):
         data = record.snap[:-4]  # full capture: strip the FCS trailer
@@ -53,9 +59,9 @@ def parse_record_frame(record: TraceRecord) -> Optional[Frame]:
         frame: Optional[Frame] = frame_from_capture(data)
     except FrameParseError:
         frame = None
-    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
-        _PARSE_CACHE.clear()
-    _PARSE_CACHE[key] = frame
+    if len(cache) >= _PARSE_CACHE_LIMIT:
+        cache.popitem(last=False)
+    cache[key] = frame
     return frame
 
 

@@ -35,6 +35,11 @@ class ClockTrack:
     compensate_skew: bool = True
     resync_count: int = 0
     skew_samples: int = 0
+    #: Bumped on every mutation of the mapping.  A caller that cached a
+    #: ``universal_us`` result (the merge heap does, at push time) can
+    #: compare generations on pop and skip the recomputation when no
+    #: resync touched this track in between.
+    generation: int = 0
 
     def universal_us(self, local_us: float) -> float:
         """Predicted universal time for a local timestamp."""
@@ -66,4 +71,5 @@ class ClockTrack:
         self.anchor_local_us = local_us
         self.offset_us = universal_us - local_us
         self.resync_count += 1
+        self.generation += 1
         return correction

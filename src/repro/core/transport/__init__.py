@@ -1,6 +1,12 @@
 """Transport-layer reconstruction and inference."""
 
-from .flows import FlowKey, SegmentObservation, TcpFlow, collect_flows
+from .flows import (
+    FlowCollector,
+    FlowKey,
+    SegmentObservation,
+    TcpFlow,
+    collect_flows,
+)
 from .inference import (
     InferenceStats,
     LossCause,
@@ -9,6 +15,7 @@ from .inference import (
 )
 
 __all__ = [
+    "FlowCollector",
     "FlowKey",
     "SegmentObservation",
     "TcpFlow",

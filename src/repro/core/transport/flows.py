@@ -100,24 +100,33 @@ class TcpFlow:
         return ordered[len(ordered) // 2]
 
 
-def collect_flows(exchanges: Sequence[FrameExchange]) -> List[TcpFlow]:
-    """Bin data-bearing exchanges into flows by canonical 4-tuple."""
-    flows: Dict[FlowKey, TcpFlow] = {}
-    for exchange in exchanges:
+class FlowCollector:
+    """Incremental flow binning: feed exchanges, finish into sorted flows.
+
+    Input order does not matter — :meth:`finish` time-sorts every flow's
+    observations — so the one-pass pipeline can feed exchanges in closure
+    order straight off the assembler FSM.
+    """
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowKey, TcpFlow] = {}
+
+    def feed(self, exchange: FrameExchange) -> None:
+        """Bin one exchange's TCP segment (if it carries one)."""
         jframe = exchange.data_jframe
         if jframe is None or jframe.frame is None:
-            continue
+            return
         frame = jframe.frame
         if not frame.ftype.is_data or not frame.body:
-            continue
+            return
         packet = try_parse_packet(frame.body)
         if not isinstance(packet, IpPacket) or not isinstance(
             packet.payload, TcpSegment
         ):
-            continue
+            return
         seg = packet.payload
         key, from_a = FlowKey.from_packet(packet, seg)
-        flow = flows.setdefault(key, TcpFlow(key=key))
+        flow = self._flows.setdefault(key, TcpFlow(key=key))
         flow.observations.append(
             SegmentObservation(
                 time_us=exchange.start_us,
@@ -128,6 +137,18 @@ def collect_flows(exchanges: Sequence[FrameExchange]) -> List[TcpFlow]:
                 to_wireless=frame.from_ds,
             )
         )
-    for flow in flows.values():
-        flow.observations.sort(key=lambda obs: obs.time_us)
-    return sorted(flows.values(), key=lambda f: f.observations[0].time_us)
+
+    def finish(self) -> List[TcpFlow]:
+        """Time-order every flow and return them by first observation."""
+        flows = self._flows
+        for flow in flows.values():
+            flow.observations.sort(key=lambda obs: obs.time_us)
+        return sorted(flows.values(), key=lambda f: f.observations[0].time_us)
+
+
+def collect_flows(exchanges: Sequence[FrameExchange]) -> List[TcpFlow]:
+    """Bin data-bearing exchanges into flows by canonical 4-tuple."""
+    collector = FlowCollector()
+    for exchange in exchanges:
+        collector.feed(exchange)
+    return collector.finish()

@@ -1,12 +1,15 @@
 """Unification: merging all traces into a single jframe timeline."""
 
 from .jframe import Instance, JFrame, JFrameKind
+from .sharded import ShardedUnifier
 from .unifier import (
     DEFAULT_RESYNC_THRESHOLD_US,
     DEFAULT_SEARCH_WINDOW_US,
     UnificationResult,
     Unifier,
     UnifyStats,
+    UnifyStream,
+    partition_traces,
 )
 
 __all__ = [
@@ -15,7 +18,10 @@ __all__ = [
     "JFrameKind",
     "DEFAULT_RESYNC_THRESHOLD_US",
     "DEFAULT_SEARCH_WINDOW_US",
+    "ShardedUnifier",
     "UnificationResult",
     "Unifier",
     "UnifyStats",
+    "UnifyStream",
+    "partition_traces",
 ]

@@ -18,12 +18,16 @@ from ...dot11.frame import Frame
 from ...jtrace.records import TraceRecord
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Instance:
     """One radio's observation of a transmission.
 
     ``frame`` caches the parse of a VALID record's snap: every record is
     decoded at most once, when it is popped from the merge queue.
+
+    One :class:`Instance` is created per trace record, so construction is
+    on the merge hot path — ``slots=True`` keeps it allocation-cheap (and
+    drops the frozen-dataclass ``object.__setattr__`` overhead).
     """
 
     radio_id: int

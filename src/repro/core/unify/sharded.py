@@ -1,0 +1,175 @@
+"""Sharded unification: per-channel parallel merge (Section 4's scaling).
+
+"Trace merging should execute faster than real-time and scale well as a
+function of the number of radios."  Channel shards never interact — content
+keys, open-group queues and clock tracks are all channel-local — so the
+merge parallelizes perfectly across them: each shard is merged by its own
+:class:`~repro.core.unify.unifier._MergeEngine` (serially, or on a
+``concurrent.futures`` process pool with pickled record batches) and the
+per-shard jframe streams are k-way merged by timestamp.
+
+Every execution mode runs the same engine over the same deterministic
+shard order, so serial, streaming and process-pool unification produce
+jframe-for-jframe identical output to :meth:`Unifier.unify`
+(``tests/test_streaming_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...jtrace.io import RadioTrace
+from ..sync.bootstrap import BootstrapResult
+from ..sync.skew import ClockTrack
+from .jframe import JFrame
+from .unifier import (
+    UnificationResult,
+    Unifier,
+    UnifyStats,
+    UnifyStream,
+    _MergeEngine,
+    _timestamp_key,
+    merge_shard_streams,
+    partition_traces,
+)
+
+#: Result of unifying one shard in a worker process.
+_ShardResult = Tuple[List[JFrame], Dict[int, ClockTrack], UnifyStats]
+
+
+def _unify_shard(
+    unifier: Unifier,
+    traces: Sequence[RadioTrace],
+    bootstrap: BootstrapResult,
+) -> _ShardResult:
+    """Worker entry point: merge one shard to completion (picklable I/O)."""
+    engine = _MergeEngine(unifier, traces, bootstrap)
+    jframes = list(engine.run())
+    return jframes, engine.tracks, engine.stats
+
+
+class ShardedUnifier:
+    """Channel-sharded front-end over :class:`Unifier`.
+
+    ``max_workers`` selects the execution mode:
+
+    * ``None`` (default) — auto: a process pool when the machine has more
+      than one CPU *and* there is more than one shard, else serial;
+    * ``0`` or ``1`` — always serial, in-process;
+    * ``n > 1`` — a process pool of at most ``n`` workers.
+
+    Serial mode streams shards lazily (constant memory beyond the open
+    window); pool mode materializes per-shard jframe lists in the workers
+    and k-way merges them on receipt.
+    """
+
+    def __init__(
+        self,
+        unifier: Optional[Unifier] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.unifier = unifier or Unifier()
+        self.max_workers = max_workers
+
+    # --- internals ---------------------------------------------------------
+
+    def _pool_budget(self) -> int:
+        """Workers available before shard count is known (<=1 means serial)."""
+        if self.max_workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.max_workers)
+
+    def _worker_count(self, n_shards: int) -> int:
+        if n_shards <= 1:
+            return 1
+        return min(self._pool_budget(), n_shards)
+
+    def _run_pool(
+        self,
+        shards: List[List[RadioTrace]],
+        bootstrap: BootstrapResult,
+        workers: int,
+    ) -> List[_ShardResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_unify_shard, self.unifier, shard, bootstrap)
+                for shard in shards
+            ]
+            # Collect in shard order — the merge interleaving must not
+            # depend on completion order.
+            return [future.result() for future in futures]
+
+    # --- public API --------------------------------------------------------
+
+    def stream_unify(
+        self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
+    ) -> UnifyStream:
+        """A :class:`UnifyStream` over the sharded merge.
+
+        Serial mode is fully lazy; pool mode dispatches the shards eagerly
+        (the workers run to completion) and streams the merged result.
+        """
+        if self._pool_budget() <= 1:
+            # Serial mode is exactly the Unifier's own streaming path
+            # (which partitions internally — no duplicate shard scan).
+            return self.unifier.stream_unify(traces, bootstrap)
+        shards = partition_traces(traces)
+        workers = self._worker_count(len(shards))
+        if workers <= 1:  # a single shard: nothing to parallelize
+            return self.unifier.stream_unify(traces, bootstrap)
+        results = self._run_pool(shards, bootstrap, workers)
+        merged = merge_shard_streams([jframes for jframes, _, _ in results])
+        return _CompletedStream(
+            merged, results, [t.radio_id for t in traces]
+        )
+
+    def iter_unify(
+        self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
+    ) -> Iterator[JFrame]:
+        """Generator of globally time-ordered jframes."""
+        return iter(self.stream_unify(traces, bootstrap))
+
+    def unify(
+        self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
+    ) -> UnificationResult:
+        """Batch API: identical result shape (and content) to ``Unifier``."""
+        stream = self.stream_unify(traces, bootstrap)
+        jframes = list(stream)
+        jframes.sort(key=_timestamp_key)
+        return UnificationResult(
+            jframes=jframes, tracks=stream.tracks, stats=stream.stats
+        )
+
+
+class _CompletedStream(UnifyStream):
+    """UnifyStream over already-computed shard results (pool mode)."""
+
+    def __init__(
+        self,
+        iterator: Iterator[JFrame],
+        results: Sequence[_ShardResult],
+        track_order: Sequence[int],
+    ) -> None:
+        super().__init__(iterator, engines=(), track_order=track_order)
+        self._results = list(results)
+
+    @property
+    def stats(self) -> UnifyStats:
+        merged = UnifyStats()
+        for _, _, stats in self._results:
+            merged.merge(stats)
+        return merged
+
+    @property
+    def tracks(self) -> Dict[int, ClockTrack]:
+        combined: Dict[int, ClockTrack] = {}
+        for _, tracks, _ in self._results:
+            combined.update(tracks)
+        return {
+            rid: combined[rid]
+            for rid in self._track_order
+            if rid in combined
+        }

@@ -13,6 +13,32 @@ instead of literal pop-and-push-back, which gives identical grouping
 decisions in O(n log n) — each record is pushed and popped exactly once —
 satisfying the paper's requirement that merging "execute faster than
 real-time ... in a single pass over the data".
+
+Architecture (streaming + sharding)
+-----------------------------------
+
+Content keys, open-group queues and clock tracks are all channel-local: a
+frame on channel 1 can never group with — or resynchronize against — a
+record captured on channel 11.  The merge core therefore runs as one
+:class:`_MergeEngine` per *channel shard* (traces partitioned by the
+channels their records occupy), and the per-shard jframe streams are
+k-way merged by timestamp:
+
+* :meth:`Unifier.iter_unify` / :meth:`Unifier.stream_unify` — the
+  streaming API: a generator of globally time-ordered jframes.  Inside a
+  shard, finalization lags arrival by at most the search window, so a
+  small bounded reorder heap (rather than an end-of-run sort over every
+  jframe) yields incrementally ordered output.
+* :meth:`Unifier.unify` — the batch API, now a thin wrapper that drains
+  the stream into a :class:`UnificationResult`.
+* :class:`repro.core.unify.sharded.ShardedUnifier` — the front-end that
+  exposes the shard structure explicitly and can merge shards on a
+  process pool for multi-core machines.
+
+Because every execution mode runs the same engine over the same shards in
+the same deterministic order, batch, streaming, serial-sharded and
+parallel-sharded unification produce jframe-for-jframe identical output
+(``tests/test_streaming_equivalence.py`` holds this property).
 """
 
 from __future__ import annotations
@@ -20,7 +46,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...dot11.address import MacAddress
@@ -39,6 +65,8 @@ DEFAULT_RESYNC_THRESHOLD_US = 10.0
 #: Attachment windows for content-less instances (corrupt/PHY-error).
 DEFAULT_CORRUPT_ATTACH_US = 120.0
 DEFAULT_PHY_ATTACH_US = 60.0
+
+_INF = float("inf")
 
 
 @dataclass
@@ -59,6 +87,11 @@ class UnifyStats:
         if self.jframes == 0:
             return 0.0
         return self.instances_unified / self.jframes
+
+    def merge(self, other: "UnifyStats") -> None:
+        """Fold another shard's counters into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -114,8 +147,482 @@ class _Group:
         self.radios.add(instance.radio_id)
 
 
+def partition_traces(
+    traces: Sequence[RadioTrace],
+) -> List[List[RadioTrace]]:
+    """Partition traces into independent channel shards.
+
+    Two traces land in the same shard iff they share (transitively) any
+    channel among their records — the exact condition under which their
+    records could interact during unification.  Shards are ordered by
+    their smallest channel so every execution mode enumerates them
+    identically.
+    """
+    # Union-find over channels.
+    parent: Dict[int, int] = {}
+
+    def find(c: int) -> int:
+        root = c
+        while parent[root] != root:
+            root = parent[root]
+        while parent[c] != root:
+            parent[c], c = root, parent[c]
+        return root
+
+    trace_channels: List[frozenset] = []
+    for trace in traces:
+        channels = {trace.channel}
+        channels.update(r.channel for r in trace.records)
+        trace_channels.append(frozenset(channels))
+        for c in channels:
+            parent.setdefault(c, c)
+        first = next(iter(channels))
+        for c in channels:
+            ra, rb = find(first), find(c)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+    shards: Dict[int, List[RadioTrace]] = defaultdict(list)
+    for trace, channels in zip(traces, trace_channels):
+        shards[find(next(iter(channels)))].append(trace)
+    return [shards[root] for root in sorted(shards)]
+
+
+class _MergeEngine:
+    """Streams one channel shard's records into time-ordered jframes.
+
+    This is the seed single-heap merge algorithm restricted to one shard,
+    restructured as a generator: groups are finalized when the merge
+    clock passes their search-window deadline and emitted through a small
+    reorder heap once no later-finalized group can precede them.  The
+    emission watermark trails the merge clock by twice the search window,
+    which dominates both the window lag itself and any jitter introduced
+    by resynchronization corrections (microseconds against a 10 ms
+    window).
+    """
+
+    def __init__(
+        self,
+        unifier: "Unifier",
+        traces: Sequence[RadioTrace],
+        bootstrap: BootstrapResult,
+    ) -> None:
+        self.unifier = unifier
+        self.stats = UnifyStats()
+        self.tracks: Dict[int, ClockTrack] = {}
+        self._records: Dict[int, List[TraceRecord]] = {}
+        offsets = bootstrap.offsets_us
+        for trace in traces:
+            self.stats.records_in += len(trace)
+            offset = offsets.get(trace.radio_id)
+            if offset is None:
+                self.stats.records_skipped_unsynchronized += len(trace)
+                continue
+            self.tracks[trace.radio_id] = ClockTrack(
+                radio_id=trace.radio_id,
+                offset_us=offset,
+                alpha=unifier.skew_alpha,
+                compensate_skew=unifier.compensate_skew,
+            )
+            self._records[trace.radio_id] = trace.records
+        # Open-group state (channel-local by construction of the shard).
+        self.open_by_key: Dict[ReferenceKey, _Group] = {}
+        self.open_by_channel: Dict[int, deque] = defaultdict(deque)
+        self.open_order: deque = deque()
+
+    # --- the merge hot loop ------------------------------------------------
+
+    def run(self) -> Iterator[JFrame]:
+        """Yield this shard's jframes in (timestamp, finalization) order."""
+        unifier = self.unifier
+        tracks = self.tracks
+        records_by_radio = self._records
+        search_window = unifier.search_window_us
+        gap_limit = unifier.instance_gap_us
+        corrupt_attach = unifier.corrupt_attach_us
+        phy_attach = unifier.phy_attach_us
+        # Emission watermark: a future-finalized group's timestamp can
+        # precede the merge clock by (search window + attachment window +
+        # resync jitter).  The attachment windows enter explicitly so the
+        # bound holds even when the search window is configured smaller
+        # than them; the extra search window of slack dominates resync
+        # corrections (instance-gap scale, which itself scales with the
+        # window).
+        emit_lag = 2.0 * search_window + max(corrupt_attach, phy_attach)
+
+        open_by_key = self.open_by_key
+        open_by_channel = self.open_by_channel
+        open_order = self.open_order
+        finalize_stale = self._finalize_stale
+        find_attachable = self._find_attachable
+        parse_frame = parse_record_frame
+        kind_valid = RecordKind.VALID
+        kind_corrupt = RecordKind.CORRUPT
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        # One entry per radio: (est universal, tiebreak, radio, record,
+        # next index, track generation at push time).  The generation lets
+        # the pop skip recomputing ``universal_us`` when no resync touched
+        # the track since the push — the common case by far.
+        heap: List[tuple] = []
+        counter = itertools.count()
+        lengths = {rid: len(recs) for rid, recs in records_by_radio.items()}
+        for radio_id, recs in records_by_radio.items():
+            if recs:
+                track = tracks[radio_id]
+                first = recs[0]
+                heappush(
+                    heap,
+                    (
+                        track.universal_us(first.timestamp_us),
+                        next(counter),
+                        radio_id,
+                        first,
+                        1,
+                        track.generation,
+                    ),
+                )
+
+        #: Finalized jframes awaiting ordered emission: (ts, seq, jframe).
+        reorder: List[Tuple[int, int, JFrame]] = []
+        #: Merge clock at which the oldest open group goes stale.
+        oldest_deadline = _INF
+
+        while heap:
+            est, _, radio_id, record, idx, gen = heappop(heap)
+            track = tracks[radio_id]
+            recs = records_by_radio[radio_id]
+            if idx < lengths[radio_id]:
+                nxt = recs[idx]
+                heappush(
+                    heap,
+                    (
+                        track.universal_us(nxt.timestamp_us),
+                        next(counter),
+                        radio_id,
+                        nxt,
+                        idx + 1,
+                        track.generation,
+                    ),
+                )
+            # Recompute with the current (possibly resynced) track state;
+            # skip when the push-time estimate is still exact.
+            if gen == track.generation:
+                universal = est
+            else:
+                universal = track.universal_us(record.timestamp_us)
+
+            kind = record.kind
+            frame = parse_frame(record) if kind is kind_valid else None
+            instance = Instance(
+                radio_id, record.timestamp_us, universal, record, frame
+            )
+
+            if universal > oldest_deadline:
+                oldest_deadline = finalize_stale(universal, reorder)
+                bound = universal - emit_lag
+                while reorder and reorder[0][0] <= bound:
+                    yield heappop(reorder)[2]
+
+            # --- placement (inlined: once per record) ---------------------
+            channel = record.channel
+            if kind is kind_valid:
+                key = (channel, record.frame_len, record.fcs, record.snap)
+                group = open_by_key.get(key)
+                if (
+                    group is not None
+                    and radio_id not in group.radios
+                    and universal - group.first_universal <= gap_limit
+                ):
+                    group.instances.append(instance)
+                    group.radios.add(radio_id)
+                    continue
+                transmitter = None
+                if frame is not None:
+                    # CTS-to-self carries the sender in RA; a plain
+                    # receiver cannot know which it is, so RA doubles as
+                    # the hint.
+                    transmitter = frame.transmitter or frame.addr1
+                # A valid capture may complete a group opened by a corrupt
+                # or PHY-error observation of the same transmission.
+                upgrade = find_attachable(
+                    instance, open_by_channel[channel],
+                    corrupt_attach, need_headless=True,
+                )
+                if upgrade is not None:
+                    upgrade.add(instance)
+                    upgrade.key = key
+                    upgrade.rep_record = record
+                    upgrade.rep_frame = frame
+                    upgrade.transmitter = transmitter
+                    open_by_key[key] = upgrade
+                    continue
+                group = _Group(instance, channel, key, record, transmitter)
+                group.rep_frame = frame
+                open_by_key[key] = group
+            elif kind is kind_corrupt:
+                transmitter = transmitter_from_corrupt_bytes(record.snap)
+                existing = find_attachable(
+                    instance, open_by_channel[channel],
+                    corrupt_attach, transmitter=transmitter,
+                )
+                if existing is not None:
+                    existing.add(instance)
+                    continue
+                group = _Group(instance, channel, None, None, transmitter)
+            else:  # PHY_ERROR
+                existing = find_attachable(
+                    instance, open_by_channel[channel], phy_attach,
+                )
+                if existing is not None:
+                    existing.add(instance)
+                    continue
+                group = _Group(instance, channel, None, None, None)
+
+            open_by_channel[channel].append(group)
+            open_order.append(group)
+            if oldest_deadline is _INF:
+                oldest_deadline = group.first_universal + search_window
+
+        self._finalize_stale(_INF, reorder)
+        while reorder:
+            yield heappop(reorder)[2]
+
+    # --- placement helpers -------------------------------------------------
+
+    def _find_attachable(
+        self,
+        instance: Instance,
+        channel_groups: deque,
+        window_us: float,
+        transmitter: Optional[MacAddress] = None,
+        need_headless: bool = False,
+    ) -> Optional[_Group]:
+        """Scan open groups on this channel for a time/transmitter match.
+
+        Corrupt captures "simply match on the transmitter's address field"
+        when it is readable; address-less damage falls back to temporal
+        proximity.  ``need_headless`` restricts the search to groups without
+        a valid representative (used when a valid capture adopts orphans).
+        """
+        best: Optional[_Group] = None
+        best_gap = window_us
+        universal = instance.universal_us
+        radio_id = instance.radio_id
+        for group in reversed(channel_groups):
+            gap = universal - group.first_universal
+            if gap > window_us:
+                break  # deque is in creation order; older ones only further
+            if gap < 0.0:
+                gap = -gap
+                if gap > window_us:
+                    continue
+            if radio_id in group.radios:
+                continue
+            if need_headless and group.rep_record is not None:
+                continue
+            if transmitter is not None and group.transmitter is not None:
+                if transmitter != group.transmitter:
+                    continue
+            if gap <= best_gap:
+                best = group
+                best_gap = gap
+        return best
+
+    # --- finalization ------------------------------------------------------
+
+    def _finalize_stale(
+        self,
+        now_universal: float,
+        reorder: List[Tuple[int, int, JFrame]],
+    ) -> float:
+        """Finalize groups older than the search window.
+
+        Returns the merge-clock deadline at which the (new) oldest open
+        group goes stale, so the hot loop can gate on a float compare.
+        """
+        open_order = self.open_order
+        open_by_channel = self.open_by_channel
+        open_by_key = self.open_by_key
+        window = self.unifier.search_window_us
+        stats = self.stats
+        while open_order and (
+            now_universal - open_order[0].first_universal > window
+        ):
+            group = open_order.popleft()
+            channel_queue = open_by_channel[group.channel]
+            if channel_queue and channel_queue[0] is group:
+                channel_queue.popleft()
+            else:  # rare: out-of-order creation across channels
+                try:
+                    channel_queue.remove(group)
+                except ValueError:
+                    pass
+            if group.key is not None and open_by_key.get(group.key) is group:
+                del open_by_key[group.key]
+            jframe = self._finalize(group)
+            heapq.heappush(
+                reorder, (jframe.timestamp_us, stats.jframes, jframe)
+            )
+        if open_order:
+            return open_order[0].first_universal + window
+        return _INF
+
+    def _finalize(self, group: _Group) -> JFrame:
+        unifier = self.unifier
+        stats = self.stats
+        # Timing (median, dispersion, resync) uses only FCS-good instances:
+        # corrupt and PHY-error attachments identify *which* radios saw the
+        # event but their timestamps are not synchronization-grade.
+        kind_valid = RecordKind.VALID
+        instances = group.instances
+        timing_instances = [
+            inst for inst in instances if inst.record.kind is kind_valid
+        ] or instances
+        n_timing = len(timing_instances)
+        if n_timing == 1:
+            timestamp = timing_instances[0].universal_us
+            dispersion = 0.0
+        else:
+            times = sorted(inst.universal_us for inst in timing_instances)
+            mid = n_timing // 2
+            if unifier.use_median_timestamp:
+                if n_timing % 2:
+                    timestamp = times[mid]
+                else:
+                    timestamp = 0.5 * (times[mid - 1] + times[mid])
+            else:
+                timestamp = sum(times) / n_timing
+            dispersion = times[-1] - times[0]
+
+        rep = group.rep_record
+        if rep is not None:
+            kind = JFrameKind.VALID
+            frame = group.rep_frame
+            frame_len, fcs, rate = rep.frame_len, rep.fcs, rep.rate_mbps
+            duration = rep.duration_us
+        else:
+            frame = None
+            any_record = instances[0].record
+            if any(
+                inst.record.kind is RecordKind.CORRUPT for inst in instances
+            ):
+                kind = JFrameKind.CORRUPT
+            else:
+                kind = JFrameKind.PHY_ERROR
+            frame_len, fcs, rate = (
+                any_record.frame_len,
+                any_record.fcs,
+                any_record.rate_mbps,
+            )
+            duration = any_record.duration_us
+
+        # Resynchronize contributing clocks — unique frames only, gated on
+        # the dispersion threshold (Section 4.2's accuracy/overhead trade).
+        rep_frame = group.rep_frame
+        if (
+            rep is not None
+            and rep_frame is not None
+            and n_timing >= 2
+            and dispersion >= unifier.resync_threshold_us
+            and rep_frame.ftype.carries_sequence
+            and not rep_frame.retry
+        ):
+            tracks = self.tracks
+            for inst in timing_instances:
+                track = tracks.get(inst.radio_id)
+                if track is not None:
+                    track.resync(inst.local_us, timestamp)
+                    stats.resyncs += 1
+
+        stats.jframes += 1
+        stats.instances_unified += len(instances)
+        if kind is JFrameKind.VALID:
+            stats.valid_jframes += 1
+        elif kind is JFrameKind.CORRUPT:
+            stats.corrupt_jframes += 1
+        else:
+            stats.phy_error_jframes += 1
+
+        return JFrame(
+            timestamp_us=int(round(timestamp)),
+            kind=kind,
+            channel=group.channel,
+            instances=instances,
+            frame=frame,
+            frame_len=frame_len,
+            fcs=fcs,
+            rate_mbps=rate,
+            duration_us=duration,
+            dispersion_us=float(dispersion),
+            transmitter=group.transmitter
+            if group.transmitter is not None
+            else (frame.transmitter if frame is not None else None),
+        )
+
+
+class UnifyStream:
+    """A lazy unification in progress: iterate to drain the jframes.
+
+    ``stats`` and ``tracks`` aggregate across shards; they are complete
+    once the stream is exhausted (reading them mid-stream gives the
+    progress so far, which is exactly what a live monitor wants).
+    """
+
+    def __init__(
+        self,
+        iterator: Iterator[JFrame],
+        engines: Sequence[_MergeEngine],
+        track_order: Sequence[int] = (),
+    ) -> None:
+        self._iterator = iterator
+        self._engines = list(engines)
+        self._track_order = list(track_order)
+
+    def __iter__(self) -> Iterator[JFrame]:
+        return self._iterator
+
+    @property
+    def stats(self) -> UnifyStats:
+        merged = UnifyStats()
+        for engine in self._engines:
+            merged.merge(engine.stats)
+        return merged
+
+    @property
+    def tracks(self) -> Dict[int, ClockTrack]:
+        combined: Dict[int, ClockTrack] = {}
+        for engine in self._engines:
+            combined.update(engine.tracks)
+        if self._track_order:
+            return {
+                rid: combined[rid]
+                for rid in self._track_order
+                if rid in combined
+            }
+        return combined
+
+
+def merge_shard_streams(
+    streams: Sequence[Iterator[JFrame]],
+) -> Iterator[JFrame]:
+    """K-way merge per-shard jframe streams into one global timeline.
+
+    Shard streams are each (timestamp, finalization)-ordered; ``heapq.merge``
+    breaks timestamp ties by stream position, so the interleaving is
+    deterministic given the (sorted-by-channel) shard order.
+    """
+    if len(streams) == 1:
+        return iter(streams[0])
+    return heapq.merge(*streams, key=_timestamp_key)
+
+
+def _timestamp_key(jframe: JFrame) -> int:
+    return jframe.timestamp_us
+
+
 class Unifier:
-    """Single-pass trace merger."""
+    """Single-pass trace merger (batch and streaming APIs)."""
 
     def __init__(
         self,
@@ -153,307 +660,38 @@ class Unifier:
 
     # --- public API --------------------------------------------------------
 
+    def stream_unify(
+        self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
+    ) -> UnifyStream:
+        """Begin a lazy unification over channel shards.
+
+        Returns a :class:`UnifyStream`: iterate it for globally
+        time-ordered jframes; read ``.stats`` / ``.tracks`` when done.
+        """
+        shards = partition_traces(traces)
+        engines = [
+            _MergeEngine(self, shard, bootstrap) for shard in shards
+        ]
+        merged = merge_shard_streams([engine.run() for engine in engines])
+        return UnifyStream(
+            merged, engines, track_order=[t.radio_id for t in traces]
+        )
+
+    def iter_unify(
+        self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
+    ) -> Iterator[JFrame]:
+        """Generator of globally time-ordered jframes (streaming API)."""
+        return iter(self.stream_unify(traces, bootstrap))
+
     def unify(
         self, traces: Sequence[RadioTrace], bootstrap: BootstrapResult
     ) -> UnificationResult:
-        """Merge all traces into a time-ordered list of jframes."""
-        stats = UnifyStats()
-        tracks: Dict[int, ClockTrack] = {}
-        streams: Dict[int, Iterator[TraceRecord]] = {}
-        for trace in traces:
-            stats.records_in += len(trace)
-            offset = bootstrap.offsets_us.get(trace.radio_id)
-            if offset is None:
-                stats.records_skipped_unsynchronized += len(trace)
-                continue
-            tracks[trace.radio_id] = ClockTrack(
-                radio_id=trace.radio_id,
-                offset_us=offset,
-                alpha=self.skew_alpha,
-                compensate_skew=self.compensate_skew,
-            )
-            streams[trace.radio_id] = iter(trace.records)
-
-        heap: List[Tuple[float, int, int, TraceRecord]] = []
-        counter = itertools.count()
-
-        def push_next(radio_id: int) -> None:
-            record = next(streams[radio_id], None)
-            if record is None:
-                return
-            est = tracks[radio_id].universal_us(record.timestamp_us)
-            heapq.heappush(heap, (est, next(counter), radio_id, record))
-
-        for radio_id in streams:
-            push_next(radio_id)
-
-        open_by_key: Dict[ReferenceKey, _Group] = {}
-        open_by_channel: Dict[int, deque] = defaultdict(deque)
-        open_order: deque = deque()
-        jframes: List[JFrame] = []
-
-        while heap:
-            _, _, radio_id, record = heapq.heappop(heap)
-            push_next(radio_id)
-            track = tracks[radio_id]
-            # Recompute with the current (possibly resynced) track state.
-            universal = track.universal_us(record.timestamp_us)
-            frame = (
-                parse_record_frame(record)
-                if record.kind is RecordKind.VALID
-                else None
-            )
-            instance = Instance(
-                radio_id=radio_id,
-                local_us=record.timestamp_us,
-                universal_us=universal,
-                record=record,
-                frame=frame,
-            )
-            self._finalize_stale(
-                universal, open_by_key, open_by_channel, open_order,
-                jframes, tracks, stats,
-            )
-            self._place(
-                instance, record, open_by_key, open_by_channel, open_order
-            )
-
-        self._finalize_stale(
-            float("inf"), open_by_key, open_by_channel, open_order,
-            jframes, tracks, stats,
-        )
-        jframes.sort(key=lambda jf: jf.timestamp_us)
-        return UnificationResult(jframes=jframes, tracks=tracks, stats=stats)
-
-    # --- placement ------------------------------------------------------------
-
-    def _place(
-        self,
-        instance: Instance,
-        record: TraceRecord,
-        open_by_key: Dict[ReferenceKey, _Group],
-        open_by_channel: Dict[int, deque],
-        open_order: deque,
-    ) -> None:
-        channel = record.channel
-        if record.kind is RecordKind.VALID:
-            transmitter = None
-            if instance.frame is not None:
-                # CTS-to-self carries the sender in RA; a plain receiver
-                # cannot know which it is, so RA doubles as the hint.
-                transmitter = instance.frame.transmitter or instance.frame.addr1
-            # Content identity is per channel: the same bytes on two
-            # channels are physically distinct transmissions.
-            key = (channel,) + content_key(record)
-            group = open_by_key.get(key)
-            if group is not None and self._joinable(group, instance):
-                group.add(instance)
-                return
-            # A valid capture may complete a group opened by a corrupt or
-            # PHY-error observation of the same transmission.
-            upgrade = self._find_attachable(
-                instance, record, open_by_channel[channel],
-                self.corrupt_attach_us, need_headless=True,
-            )
-            if upgrade is not None:
-                upgrade.add(instance)
-                upgrade.key = key
-                upgrade.rep_record = record
-                upgrade.rep_frame = instance.frame
-                upgrade.transmitter = transmitter
-                open_by_key[key] = upgrade
-                return
-            group = _Group(instance, channel, key, record, transmitter)
-            group.rep_frame = instance.frame
-            open_by_key[key] = group
-            open_by_channel[channel].append(group)
-            open_order.append(group)
-        elif record.kind is RecordKind.CORRUPT:
-            transmitter = transmitter_from_corrupt_bytes(record.snap)
-            group = self._find_attachable(
-                instance, record, open_by_channel[channel],
-                self.corrupt_attach_us, transmitter=transmitter,
-            )
-            if group is not None:
-                group.add(instance)
-                return
-            group = _Group(instance, channel, None, None, transmitter)
-            open_by_channel[channel].append(group)
-            open_order.append(group)
-        else:  # PHY_ERROR
-            group = self._find_attachable(
-                instance, record, open_by_channel[channel],
-                self.phy_attach_us,
-            )
-            if group is not None:
-                group.add(instance)
-                return
-            group = _Group(instance, channel, None, None, None)
-            open_by_channel[channel].append(group)
-            open_order.append(group)
-
-    def _joinable(self, group: _Group, instance: Instance) -> bool:
-        if instance.radio_id in group.radios:
-            return False
-        return (
-            instance.universal_us - group.first_universal
-            <= self.instance_gap_us
-        )
-
-    def _find_attachable(
-        self,
-        instance: Instance,
-        record: TraceRecord,
-        channel_groups: deque,
-        window_us: float,
-        transmitter: Optional[MacAddress] = None,
-        need_headless: bool = False,
-    ) -> Optional[_Group]:
-        """Scan open groups on this channel for a time/transmitter match.
-
-        Corrupt captures "simply match on the transmitter's address field"
-        when it is readable; address-less damage falls back to temporal
-        proximity.  ``need_headless`` restricts the search to groups without
-        a valid representative (used when a valid capture adopts orphans).
-        """
-        best: Optional[_Group] = None
-        best_gap = window_us
-        for group in reversed(channel_groups):
-            gap = instance.universal_us - group.first_universal
-            if gap > window_us:
-                break  # deque is in creation order; older ones only further
-            if abs(gap) > window_us:
-                continue
-            gap = abs(gap)
-            if instance.radio_id in group.radios:
-                continue
-            if need_headless and group.rep_record is not None:
-                continue
-            if transmitter is not None and group.transmitter is not None:
-                if transmitter != group.transmitter:
-                    continue
-            if gap <= best_gap:
-                best = group
-                best_gap = gap
-        return best
-
-    # --- finalization ------------------------------------------------------------
-
-    def _finalize_stale(
-        self,
-        now_universal: float,
-        open_by_key: Dict[ReferenceKey, _Group],
-        open_by_channel: Dict[int, deque],
-        open_order: deque,
-        jframes: List[JFrame],
-        tracks: Dict[int, ClockTrack],
-        stats: UnifyStats,
-    ) -> None:
-        while open_order and (
-            now_universal - open_order[0].first_universal > self.search_window_us
-        ):
-            group = open_order.popleft()
-            channel_queue = open_by_channel[group.channel]
-            if channel_queue and channel_queue[0] is group:
-                channel_queue.popleft()
-            else:  # rare: out-of-order creation across channels
-                try:
-                    channel_queue.remove(group)
-                except ValueError:
-                    pass
-            if group.key is not None and open_by_key.get(group.key) is group:
-                del open_by_key[group.key]
-            jframes.append(self._finalize(group, tracks, stats))
-
-    def _finalize(
-        self,
-        group: _Group,
-        tracks: Dict[int, ClockTrack],
-        stats: UnifyStats,
-    ) -> JFrame:
-        # Timing (median, dispersion, resync) uses only FCS-good instances:
-        # corrupt and PHY-error attachments identify *which* radios saw the
-        # event but their timestamps are not synchronization-grade.
-        timing_instances = [
-            inst
-            for inst in group.instances
-            if inst.record.kind is RecordKind.VALID
-        ] or group.instances
-        times = sorted(inst.universal_us for inst in timing_instances)
-        if self.use_median_timestamp:
-            mid = len(times) // 2
-            if len(times) % 2:
-                timestamp = times[mid]
-            else:
-                timestamp = 0.5 * (times[mid - 1] + times[mid])
-        else:
-            timestamp = sum(times) / len(times)
-        dispersion = times[-1] - times[0]
-
-        rep = group.rep_record
-        if rep is not None:
-            kind = JFrameKind.VALID
-            frame = group.rep_frame
-            frame_len, fcs, rate = rep.frame_len, rep.fcs, rep.rate_mbps
-            duration = rep.duration_us
-        else:
-            frame = None
-            any_record = group.instances[0].record
-            if any(
-                inst.record.kind is RecordKind.CORRUPT
-                for inst in group.instances
-            ):
-                kind = JFrameKind.CORRUPT
-            else:
-                kind = JFrameKind.PHY_ERROR
-            frame_len, fcs, rate = (
-                any_record.frame_len,
-                any_record.fcs,
-                any_record.rate_mbps,
-            )
-            duration = any_record.duration_us
-
-        # Resynchronize contributing clocks — unique frames only, gated on
-        # the dispersion threshold (Section 4.2's accuracy/overhead trade).
-        rep_frame = group.rep_frame
-        rep_is_unique = (
-            rep_frame is not None
-            and rep_frame.ftype.carries_sequence
-            and not rep_frame.retry
-        )
-        if (
-            rep is not None
-            and rep_is_unique
-            and len(timing_instances) >= 2
-            and dispersion >= self.resync_threshold_us
-        ):
-            for inst in timing_instances:
-                track = tracks.get(inst.radio_id)
-                if track is not None:
-                    track.resync(inst.local_us, timestamp)
-                    stats.resyncs += 1
-
-        stats.jframes += 1
-        stats.instances_unified += len(group.instances)
-        if kind is JFrameKind.VALID:
-            stats.valid_jframes += 1
-        elif kind is JFrameKind.CORRUPT:
-            stats.corrupt_jframes += 1
-        else:
-            stats.phy_error_jframes += 1
-
-        return JFrame(
-            timestamp_us=int(round(timestamp)),
-            kind=kind,
-            channel=group.channel,
-            instances=group.instances,
-            frame=frame,
-            frame_len=frame_len,
-            fcs=fcs,
-            rate_mbps=rate,
-            duration_us=duration,
-            dispersion_us=float(dispersion),
-            transmitter=group.transmitter
-            if group.transmitter is not None
-            else (frame.transmitter if frame is not None else None),
+        """Merge all traces into a time-ordered list of jframes (batch)."""
+        stream = self.stream_unify(traces, bootstrap)
+        jframes = list(stream)
+        # The stream is ordered by construction; the sort is a stable no-op
+        # safety net that keeps the documented invariant unconditional.
+        jframes.sort(key=_timestamp_key)
+        return UnificationResult(
+            jframes=jframes, tracks=stream.tracks, stats=stream.stats
         )

@@ -4,18 +4,31 @@
 real-time and scale well as a function of the number of radios.  Thus, we
 prefer an algorithm that can merge traces in a single pass over the data."
 
-The check: unify a building-scale trace and compare wall-clock merge time
-against the simulated trace duration.
+Two checks:
+
+* :func:`run_merge_performance` unifies a building-scale trace through the
+  sharded streaming engine and compares wall-clock merge time against the
+  simulated trace duration;
+* :func:`run_radio_scaling` repeats the merge over growing subsets of the
+  radio fleet — the paper's "scale well as a function of the number of
+  radios" — producing the sweep the benchmark suite persists to
+  ``BENCH_merge.json``.
 """
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..core.sync.bootstrap import bootstrap_synchronization
-from ..core.unify.unifier import Unifier
+from ..core.unify.sharded import ShardedUnifier
+from ..core.unify.unifier import Unifier, partition_traces
 from .common import ExperimentRun, get_building_run
+
+#: Radio-fleet fractions exercised by the scaling sweep.
+DEFAULT_SCALING_FRACTIONS = (0.25, 0.5, 1.0)
 
 
 @dataclass
@@ -24,6 +37,9 @@ class MergePerformance:
     merge_seconds: float
     records: int
     jframes: int
+    n_radios: int = 0
+    n_shards: int = 0
+    engine: str = "sharded-serial"
 
     @property
     def realtime_factor(self) -> float:
@@ -41,6 +57,8 @@ class MergePerformance:
     def format_table(self) -> str:
         return "\n".join(
             [
+                f"engine:            {self.engine} "
+                f"({self.n_radios} radios, {self.n_shards} channel shards)",
                 f"trace duration:    {self.trace_duration_s:.1f} s simulated",
                 f"merge time:        {self.merge_seconds:.2f} s wall clock",
                 f"records merged:    {self.records:,}",
@@ -51,28 +69,107 @@ class MergePerformance:
             ]
         )
 
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "n_radios": self.n_radios,
+            "n_shards": self.n_shards,
+            "trace_duration_s": self.trace_duration_s,
+            "merge_seconds": self.merge_seconds,
+            "records": self.records,
+            "jframes": self.jframes,
+            "records_per_second": self.records_per_second,
+            "realtime_factor": self.realtime_factor,
+        }
 
-def run_merge_performance(run: ExperimentRun = None) -> MergePerformance:
-    run = run or get_building_run()
-    traces = run.artifacts.radio_traces
-    bootstrap = bootstrap_synchronization(
-        traces, clock_groups=run.artifacts.clock_groups()
-    )
-    started = time.perf_counter()
-    result = Unifier().unify(traces, bootstrap)
-    elapsed = time.perf_counter() - started
+
+def _measure(
+    traces: Sequence, duration_us: int, clock_groups, max_workers: Optional[int]
+) -> MergePerformance:
+    bootstrap = bootstrap_synchronization(traces, clock_groups=clock_groups)
+    unifier = ShardedUnifier(Unifier(), max_workers=max_workers)
+    n_shards = len(partition_traces(traces))
+    workers = unifier._worker_count(n_shards)
+    # Isolate the measurement from the caller's heap: the cached building
+    # run keeps tens of millions of report objects alive, and letting the
+    # collector re-scan them during the timed merge swings the tracked
+    # records/second several-fold between invocations.  ``gc.freeze``
+    # parks the pre-existing heap in the permanent generation (the merge's
+    # own allocations still collect normally); ``unfreeze`` restores it.
+    gc.collect()
+    gc.freeze()
+    try:
+        started = time.perf_counter()
+        result = unifier.unify(traces, bootstrap)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.unfreeze()
     return MergePerformance(
-        trace_duration_s=run.duration_us / 1e6,
+        trace_duration_s=duration_us / 1e6,
         merge_seconds=elapsed,
         records=result.stats.records_in,
         jframes=result.stats.jframes,
+        n_radios=len(traces),
+        n_shards=n_shards,
+        engine="sharded-serial" if workers <= 1 else f"sharded-pool{workers}",
     )
+
+
+def run_merge_performance(
+    run: ExperimentRun = None, max_workers: Optional[int] = None
+) -> MergePerformance:
+    """Merge the full building trace through the sharded streaming engine."""
+    run = run or get_building_run()
+    return _measure(
+        run.artifacts.radio_traces,
+        run.duration_us,
+        run.artifacts.clock_groups(),
+        max_workers,
+    )
+
+
+def run_radio_scaling(
+    run: ExperimentRun = None,
+    fractions: Sequence[float] = DEFAULT_SCALING_FRACTIONS,
+    max_workers: Optional[int] = None,
+) -> List[MergePerformance]:
+    """Merge growing radio-fleet subsets of one building trace.
+
+    Subsetting reuses the already-simulated traces (simulating per point
+    would dwarf the merge being measured); clock groups are filtered to
+    the radios retained so bootstrap still bridges channels.
+    """
+    run = run or get_building_run()
+    traces = run.artifacts.radio_traces
+    all_groups = run.artifacts.clock_groups()
+    points: List[MergePerformance] = []
+    for fraction in fractions:
+        count = max(2, int(round(len(traces) * fraction)))
+        subset = traces[:count]
+        kept = {t.radio_id for t in subset}
+        groups = [
+            [r for r in group if r in kept]
+            for group in all_groups
+        ]
+        groups = [g for g in groups if len(g) >= 2]
+        points.append(
+            _measure(subset, run.duration_us, groups, max_workers)
+        )
+    return points
 
 
 def main() -> None:
     perf = run_merge_performance()
     print("=== Merge performance (Section 4 requirement) ===")
     print(perf.format_table())
+    print()
+    print("=== Radio scaling (records/second by fleet size) ===")
+    for point in run_radio_scaling():
+        print(
+            f"  {point.n_radios:4d} radios: "
+            f"{point.records_per_second:>10,.0f} rec/s  "
+            f"({point.realtime_factor:.2f}x real time)"
+        )
 
 
 if __name__ == "__main__":

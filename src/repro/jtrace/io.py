@@ -6,6 +6,10 @@ subsequent accesses.  Data and metadata are written to separate files"
 (Section 3.3).  We use gzip (LZO is not in the stdlib; the role — cheap
 stream compression — is identical) and a JSON sidecar index with record
 counts and the local-time range.
+
+Reading is streaming: :func:`iter_trace_records` context-manages the file
+handle and decodes chunk by chunk in constant memory, so day-long traces
+never materialize a decompressed byte blob.
 """
 
 from __future__ import annotations
@@ -16,7 +20,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional
 
-from .records import TraceRecord, record_from_bytes, record_to_bytes
+from itertools import pairwise
+
+from .records import (
+    TraceRecord,
+    record_from_bytes,
+    record_span,
+    record_to_bytes,
+)
+
+#: Chunk size for streaming decompression (1 MiB of decompressed bytes).
+_READ_CHUNK_BYTES = 1 << 20
 
 
 @dataclass
@@ -45,13 +59,19 @@ class RadioTrace:
         return self.records[-1].timestamp_us if self.records else None
 
     def sorted_by_local_time(self) -> "RadioTrace":
-        """A copy with records sorted by local timestamp.
+        """This trace in local-timestamp order.
 
         Capture order and local-time order coincide for a monotonic clock,
         but tests construct traces by hand; the merge pipeline requires
-        local-time order.
+        local-time order.  When the records are already ordered — the
+        common case for real captures — the trace itself is returned, so
+        building-scale pipelines stop copying every record list.  Callers
+        that mutate the result must therefore copy explicitly.
         """
-        ordered = sorted(self.records, key=lambda r: r.timestamp_us)
+        records = self.records
+        if all(a.timestamp_us <= b.timestamp_us for a, b in pairwise(records)):
+            return self
+        ordered = sorted(records, key=lambda r: r.timestamp_us)
         return RadioTrace(self.radio_id, self.channel, ordered)
 
 
@@ -75,6 +95,38 @@ def write_trace(trace: RadioTrace, directory: Path) -> Path:
     return data_path
 
 
+def iter_trace_records(
+    data_path: Path, chunk_bytes: int = _READ_CHUNK_BYTES
+) -> Iterator[TraceRecord]:
+    """Stream-decode records from a compressed trace file.
+
+    The file handle is context-managed (no descriptor leak) and at most
+    ``chunk_bytes`` of decompressed data plus one partial record is
+    buffered at a time, so day-long traces decode in constant memory
+    instead of materializing the whole decompressed stream.
+    """
+    with gzip.open(Path(data_path), "rb") as fh:
+        buffer = b""
+        offset = 0
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            buffer = buffer[offset:] + chunk
+            offset = 0
+            while True:
+                span = record_span(buffer, offset)
+                if span is None or offset + span > len(buffer):
+                    break  # partial record: wait for the next chunk
+                record, offset = record_from_bytes(buffer, offset)
+                yield record
+        if offset < len(buffer):
+            raise ValueError(
+                f"trailing truncated record ({len(buffer) - offset} bytes) "
+                f"in {data_path}"
+            )
+
+
 def read_trace(data_path: Path) -> RadioTrace:
     """Read one radio's trace back from disk."""
     data_path = Path(data_path)
@@ -82,12 +134,7 @@ def read_trace(data_path: Path) -> RadioTrace:
         data_path.name.replace(".jtr.gz", ".meta.json")
     )
     meta = json.loads(meta_path.read_text())
-    raw = gzip.open(data_path, "rb").read()
-    records: List[TraceRecord] = []
-    offset = 0
-    while offset < len(raw):
-        record, offset = record_from_bytes(raw, offset)
-        records.append(record)
+    records = list(iter_trace_records(data_path))
     if len(records) != meta["records"]:
         raise ValueError(
             f"index mismatch: {len(records)} records vs {meta['records']} indexed"

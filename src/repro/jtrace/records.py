@@ -82,6 +82,19 @@ def record_to_bytes(record: TraceRecord) -> bytes:
     return header + record.snap
 
 
+def record_span(raw: bytes, offset: int = 0) -> Optional[int]:
+    """Total encoded size of the record at ``offset``, or ``None``.
+
+    Returns ``None`` when fewer than a full header's bytes are available —
+    the streaming reader's signal to fetch another chunk before deciding
+    whether the record is complete.
+    """
+    if len(raw) - offset < _HEADER.size:
+        return None
+    snap_len = _HEADER.unpack_from(raw, offset)[9]
+    return _HEADER.size + snap_len
+
+
 def record_from_bytes(raw: bytes, offset: int = 0) -> tuple:
     """Decode one record; returns ``(record, next_offset)``."""
     if len(raw) - offset < _HEADER.size:
