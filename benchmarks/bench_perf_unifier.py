@@ -14,7 +14,11 @@ the perf trajectory is tracked across PRs.
 import json
 from pathlib import Path
 
-from repro.experiments.perf import run_merge_performance, run_radio_scaling
+from repro.experiments.perf import (
+    run_memory_profile,
+    run_merge_performance,
+    run_radio_scaling,
+)
 
 #: The paper's day-long trace: 2.7 B events over 86,400 seconds.
 PAPER_EVENTS_PER_SECOND = 2_700_000_000 / 86_400
@@ -51,6 +55,10 @@ def test_merge_scales_with_radios(building_run, capsys):
                 f"{point.records_per_second:>10,.0f} rec/s  "
                 f"({point.realtime_factor:.2f}x real time)"
             )
+    memory = run_memory_profile(building_run)
+    with capsys.disabled():
+        print("\n=== Peak memory: materialized vs streaming passes ===")
+        print(memory.format_table())
     RESULTS_PATH.write_text(
         json.dumps(
             {
@@ -58,6 +66,7 @@ def test_merge_scales_with_radios(building_run, capsys):
                 "paper_events_per_second": PAPER_EVENTS_PER_SECOND,
                 "full_fleet": full.as_dict(),
                 "radio_scaling": [p.as_dict() for p in points],
+                "memory": memory.as_dict(),
             },
             indent=2,
         )
@@ -66,3 +75,6 @@ def test_merge_scales_with_radios(building_run, capsys):
     # Every sweep point must stay faster than the paper's event rate.
     for point in points:
         assert point.records_per_second > PAPER_EVENTS_PER_SECOND
+    # The streaming-pass pipeline must peak measurably below the
+    # materialized run on the same trace (the materialize=False win).
+    assert memory.streaming_peak_bytes < memory.materialized_peak_bytes

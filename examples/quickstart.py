@@ -49,6 +49,23 @@ def main() -> None:
         f"p99 {cdf.p99_us:.1f} us (paper: <10 us / <20 us)"
     )
 
+    # 5. The same analyses can tap the pipeline's one-pass loop directly —
+    #    no materialized report lists, bounded memory for huge traces.
+    #    (See examples/streaming_analyses.py for the full tour.)
+    from repro.core.analysis import ActivityPass, DispersionPass
+
+    duration = config.duration_us
+    streaming = JigsawPipeline().run_streaming(
+        artifacts.radio_traces,
+        [DispersionPass(), ActivityPass(duration, bin_us=duration // 10)],
+        clock_groups=artifacts.clock_groups(),
+    )
+    assert streaming.passes["dispersion"].samples_us == cdf.samples_us
+    print(
+        f"streaming passes: identical Figure 4 from a materialize=False run "
+        f"(jframe list length: {len(streaming.jframes)})"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -2,6 +2,7 @@
 
 from .link.attempt import AttemptAssembler, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, FrameExchange
+from .passes import MaterializePass, PassContext, PipelinePass, run_passes
 from .pipeline import JigsawPipeline, JigsawReport
 from .sync.bootstrap import BootstrapResult, bootstrap_synchronization
 from .sync.skew import ClockTrack
@@ -17,6 +18,10 @@ __all__ = [
     "FrameExchange",
     "JigsawPipeline",
     "JigsawReport",
+    "MaterializePass",
+    "PassContext",
+    "PipelinePass",
+    "run_passes",
     "BootstrapResult",
     "bootstrap_synchronization",
     "ClockTrack",

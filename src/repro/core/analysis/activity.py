@@ -9,18 +9,27 @@ active)."
 Figure 8(b): traffic volume per bin, split into the paper's four
 categories: Data, Management (management + control), Beacon, and ARP —
 the latter two separated "because of their high prevalence".
+
+Implemented as streaming passes (:class:`ActivityPass`,
+:class:`BroadcastAirtimePass`); the byte/frame tallies fold immediately,
+while per-bin *activity* — which depends on the trace-global client/AP
+classification — accumulates compact per-bin candidate sets (bounded by
+station pairs, not trace length) that are resolved once the
+classification is final.  :func:`activity_timeline` and
+:func:`broadcast_airtime_share` are replay wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType
 from ...net.packets import ArpPacket, try_parse_packet
+from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport
-from .summary import identify_stations
+from .summary import StationTracker
 
 
 @dataclass
@@ -90,26 +99,44 @@ def _is_arp(frame) -> bool:
     return isinstance(try_parse_packet(frame.body), ArpPacket)
 
 
-def activity_timeline(
-    report: JigsawReport,
-    duration_us: int,
-    bin_us: int = 60_000_000,
-) -> ActivityTimeline:
-    """Bin the unified trace into the Figure 8 time series.
+class ActivityPass(PipelinePass):
+    """Streaming Figure 8 timeline.
 
     ``bin_us`` defaults to the paper's one-minute granularity; compressed
     scenarios pass something smaller.
     """
-    clients, aps = identify_stations(report)
-    n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
-    bins = [ActivityBin(start_us=i * bin_us) for i in range(n_bins)]
 
-    for jframe in report.jframes:
+    name = "activity"
+
+    def __init__(
+        self,
+        duration_us: int,
+        bin_us: int = 60_000_000,
+        tracker: Optional[StationTracker] = None,
+    ) -> None:
+        self.bin_us = bin_us
+        self._n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
+        self._bins = [
+            ActivityBin(start_us=i * bin_us) for i in range(self._n_bins)
+        ]
+        self._tracker = tracker or StationTracker()
+        # Activity depends on the final client/AP classification, so each
+        # bin accumulates candidate tuples (bounded by distinct stations
+        # and station pairs) that finish() resolves.
+        self._client_candidates: List[Set[Tuple]] = [
+            set() for _ in range(self._n_bins)
+        ]
+        self._data_pairs: List[Set[Tuple]] = [
+            set() for _ in range(self._n_bins)
+        ]
+
+    def on_jframe(self, jframe) -> None:
         frame = jframe.frame
         if frame is None:
-            continue
-        index = min(max(jframe.timestamp_us, 0) // bin_us, n_bins - 1)
-        slot = bins[index]
+            return
+        self._tracker.feed(jframe)
+        index = min(max(jframe.timestamp_us, 0) // self.bin_us, self._n_bins - 1)
+        slot = self._bins[index]
         size = jframe.frame_len
 
         if frame.ftype is FrameType.BEACON:
@@ -134,39 +161,78 @@ def activity_timeline(
             FrameType.AUTH,
             FrameType.PROBE_REQUEST,
         ):
-            if sender in clients and not frame.is_broadcast or (
-                sender in clients
-                and frame.ftype in (FrameType.PROBE_REQUEST,)
-            ):
-                slot.active_clients.add(sender)
+            self._client_candidates[index].add(
+                (
+                    sender,
+                    frame.is_broadcast,
+                    frame.ftype is FrameType.PROBE_REQUEST,
+                )
+            )
         if frame.ftype is FrameType.DATA:
-            if sender in aps and receiver in clients:
-                slot.active_aps.add(sender)
-                slot.active_clients.add(receiver)
-            elif sender in clients and receiver in aps:
-                slot.active_aps.add(receiver)
-    return ActivityTimeline(bin_us=bin_us, bins=bins)
+            self._data_pairs[index].add((sender, receiver))
+
+    def finish(self, context: Optional[PassContext]) -> ActivityTimeline:
+        clients, aps = self._tracker.finish()
+        for slot, candidates, pairs in zip(
+            self._bins, self._client_candidates, self._data_pairs
+        ):
+            for sender, is_broadcast, is_probe_req in candidates:
+                if sender in clients and (not is_broadcast or is_probe_req):
+                    slot.active_clients.add(sender)
+            for sender, receiver in pairs:
+                if sender in aps and receiver in clients:
+                    slot.active_aps.add(sender)
+                    slot.active_clients.add(receiver)
+                elif sender in clients and receiver in aps:
+                    slot.active_aps.add(receiver)
+        return ActivityTimeline(bin_us=self.bin_us, bins=self._bins)
+
+
+class BroadcastAirtimePass(PipelinePass):
+    """Streaming per-channel broadcast airtime share (Section 7.1).
+
+    Reproduces the claim that "broadcast traffic (primarily ARP and
+    Beacons) regularly consumes 10% of the channel as seen by any given
+    monitor" — broadcasts ride the lowest rate, so their airtime share
+    far exceeds their byte share.
+    """
+
+    name = "broadcast_airtime"
+
+    def __init__(self, duration_us: int) -> None:
+        self.duration_us = duration_us
+        self._by_channel: Dict[int, int] = {}
+
+    def on_jframe(self, jframe) -> None:
+        frame = jframe.frame
+        if frame is None or not frame.is_broadcast:
+            return
+        self._by_channel[jframe.channel] = (
+            self._by_channel.get(jframe.channel, 0) + jframe.duration_us
+        )
+
+    def finish(self, context: Optional[PassContext]) -> Dict[int, float]:
+        return {
+            channel: airtime / self.duration_us
+            for channel, airtime in sorted(self._by_channel.items())
+        }
+
+
+def activity_timeline(
+    report: JigsawReport,
+    duration_us: int,
+    bin_us: int = 60_000_000,
+) -> ActivityTimeline:
+    """Bin the unified trace into the Figure 8 time series."""
+    return run_passes(report, [ActivityPass(duration_us, bin_us=bin_us)])[
+        "activity"
+    ]
 
 
 def broadcast_airtime_share(
     report: JigsawReport, duration_us: int
 ) -> Dict[int, float]:
-    """Per-channel fraction of airtime consumed by broadcast frames.
-
-    Reproduces the Section 7.1 claim that "broadcast traffic (primarily ARP
-    and Beacons) regularly consumes 10% of the channel as seen by any given
-    monitor" — broadcasts ride the lowest rate, so their airtime share far
-    exceeds their byte share.
-    """
-    by_channel: Dict[int, int] = {}
-    for jframe in report.jframes:
-        frame = jframe.frame
-        if frame is None or not frame.is_broadcast:
-            continue
-        by_channel[jframe.channel] = (
-            by_channel.get(jframe.channel, 0) + jframe.duration_us
-        )
-    return {
-        channel: airtime / duration_us
-        for channel, airtime in sorted(by_channel.items())
-    }
+    """Per-channel fraction of airtime consumed by broadcast frames."""
+    return run_passes(report, [BroadcastAirtimePass(duration_us)])[
+        "broadcast_airtime"
+    ]

@@ -25,6 +25,7 @@ import numpy as np
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType
 from ...net.wired import WiredTraceRecord
+from ..passes import PassContext, PipelinePass
 from ..pipeline import JigsawReport
 from ..unify.jframe import JFrame
 
@@ -84,12 +85,25 @@ class CoverageResult:
         return "\n".join(lines)
 
 
-def _observed_payload_index(
-    jframes: Iterable[JFrame],
-) -> Dict[Tuple[Optional[MacAddress], bytes], int]:
-    """Index unicast DATA jframes by (transmitter, leading payload bytes)."""
-    index: Dict[Tuple[Optional[MacAddress], bytes], int] = defaultdict(int)
-    for jframe in jframes:
+class WiredCoveragePass(PipelinePass):
+    """Streaming Figure 6: index unicast DATA payloads off the jframe
+    feed, then match every wired unicast packet against the air trace.
+
+    A downlink wired record must appear as a DATA frame transmitted by its
+    AP; an uplink record as a DATA frame from its client.  Matching is by
+    payload content — the same join key the paper's wired/wireless
+    comparison uses (flow + packet identity).
+    """
+
+    name = "wired_coverage"
+
+    def __init__(self, wired_trace: Sequence[WiredTraceRecord]) -> None:
+        self.wired_trace = wired_trace
+        self._index: Dict[Tuple[Optional[MacAddress], bytes], int] = (
+            defaultdict(int)
+        )
+
+    def on_jframe(self, jframe) -> None:
         frame = jframe.frame
         if (
             frame is None
@@ -97,49 +111,48 @@ def _observed_payload_index(
             or frame.is_group_addressed
             or not frame.body
         ):
-            continue
-        index[(frame.addr2, bytes(frame.body[:64]))] += 1
-    return index
+            return
+        self._index[(frame.addr2, bytes(frame.body[:64]))] += 1
+
+    def finish(self, context: Optional[PassContext]) -> CoverageResult:
+        index = self._index
+        per_station: Dict[Tuple[MacAddress, bool], List[int]] = defaultdict(
+            lambda: [0, 0]
+        )
+        for record in self.wired_trace:
+            if record.downlink:
+                station, is_ap = record.ap_mac, True
+            else:
+                station, is_ap = record.client_mac, False
+            counters = per_station[(station, is_ap)]
+            counters[0] += 1
+            key = (station, bytes(record.payload[:64]))
+            if index.get(key, 0) > 0:
+                index[key] -= 1
+                counters[1] += 1
+        stations = [
+            StationCoverage(
+                station=station,
+                is_ap=is_ap,
+                wired_packets=total,
+                observed_packets=seen,
+            )
+            for (station, is_ap), (total, seen) in sorted(
+                per_station.items(), key=lambda kv: kv[0][0]
+            )
+        ]
+        return CoverageResult(stations=stations)
 
 
 def wired_coverage(
     wired_trace: Sequence[WiredTraceRecord],
     jframes: Iterable[JFrame],
 ) -> CoverageResult:
-    """Figure 6: match every wired unicast packet against the air trace.
-
-    A downlink wired record must appear as a DATA frame transmitted by its
-    AP; an uplink record as a DATA frame from its client.  Matching is by
-    payload content — the same join key the paper's wired/wireless
-    comparison uses (flow + packet identity).
-    """
-    index = _observed_payload_index(jframes)
-    per_station: Dict[Tuple[MacAddress, bool], List[int]] = defaultdict(
-        lambda: [0, 0]
-    )
-    for record in wired_trace:
-        if record.downlink:
-            station, is_ap = record.ap_mac, True
-        else:
-            station, is_ap = record.client_mac, False
-        counters = per_station[(station, is_ap)]
-        counters[0] += 1
-        key = (station, bytes(record.payload[:64]))
-        if index.get(key, 0) > 0:
-            index[key] -= 1
-            counters[1] += 1
-    stations = [
-        StationCoverage(
-            station=station,
-            is_ap=is_ap,
-            wired_packets=total,
-            observed_packets=seen,
-        )
-        for (station, is_ap), (total, seen) in sorted(
-            per_station.items(), key=lambda kv: kv[0][0]
-        )
-    ]
-    return CoverageResult(stations=stations)
+    """Figure 6: match every wired unicast packet against the air trace."""
+    cpass = WiredCoveragePass(wired_trace)
+    for jframe in jframes:
+        cpass.on_jframe(jframe)
+    return cpass.finish(None)
 
 
 @dataclass

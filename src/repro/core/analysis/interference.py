@@ -11,22 +11,32 @@ The interference loss rate is then ``X = P_i * (nx / n)``, truncated at
 zero when the estimate goes negative (the paper truncates 11% of pairs).
 Only pairs exchanging at least ``min_packets`` transmissions are scored
 (the paper uses 100 over a day; compressed scenarios pass less).
+
+The estimator is implemented as :class:`InterferenceScanner`, an
+*incremental* feed: jframes grow per-channel occupancy timelines,
+attempts are scored against them on arrival, and — because jframes and
+attempts both arrive in stream order — intervals that can no longer
+overlap any future attempt are pruned, keeping the live window bounded
+by tens of milliseconds of airtime rather than the whole trace.
+:class:`InterferencePass` plugs the scanner into the pipeline's pass
+API; :func:`estimate_interference` is the batch replay wrapper.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from collections import defaultdict
+from bisect import bisect_right
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ...dot11.address import MacAddress
 from ..link.attempt import TransmissionAttempt
+from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport
 from ..unify.jframe import JFrame
-from .summary import identify_stations
+from .summary import StationTracker
 
 
 @dataclass
@@ -142,43 +152,71 @@ class InterferenceResult:
         )
 
 
-class _ChannelTimeline:
-    """Sorted transmission intervals per channel for overlap queries."""
+#: The estimator's backwards scan margin: an overlapping frame that
+#: started more than this long before the attempt is not considered
+#: (matches the batch implementation's bisect bound).
+SCAN_MARGIN_US = 20_000
 
-    def __init__(self, jframes: Sequence[JFrame]) -> None:
-        self._starts: Dict[int, List[int]] = defaultdict(list)
-        self._intervals: Dict[int, List[Tuple[int, int, Optional[MacAddress]]]] = (
-            defaultdict(list)
-        )
-        for jframe in jframes:
-            if jframe.duration_us <= 0:
-                continue
-            self._intervals[jframe.channel].append(
-                (jframe.start_us, jframe.end_us, jframe.transmitter)
-            )
-        for channel, intervals in self._intervals.items():
-            intervals.sort(key=lambda interval: (interval[0], interval[1]))
-            self._starts[channel] = [iv[0] for iv in intervals]
+#: Upper bound on any single frame's airtime: the longest legal PSDU at
+#: 1 Mb/s is ~19 ms and the 15-bit Duration field tops out at 32.8 ms.
+#: Used to bound both the prune horizon and the candidate scan range.
+_DURATION_BOUND_US = 33_000
+
+
+class _ChannelWindow:
+    """One channel's occupancy intervals, in arrival (end-time) order.
+
+    The jframe stream is ordered by end-of-reception timestamp, so the
+    parallel ``ends`` array is sorted and overlap candidates for a query
+    ``[qstart, qend)`` live in the slice ``end > qstart`` and
+    ``end <= qend + duration bound`` — a bisect range bounded by the
+    airtime window, independent of trace length.  A head index advances
+    past intervals no future query can overlap; compaction frees them.
+    """
+
+    __slots__ = ("ends", "items", "head")
+
+    def __init__(self) -> None:
+        self.ends: List[int] = []
+        self.items: List[Tuple[int, int, Optional[MacAddress]]] = []
+        self.head = 0
+
+    def add(self, start: int, end: int, tx: Optional[MacAddress]) -> None:
+        self.ends.append(end)
+        self.items.append((start, end, tx))
+
+    def prune(self, floor: int) -> None:
+        """Drop intervals with ``end < floor`` (irrelevant forever)."""
+        ends = self.ends
+        head = self.head
+        n = len(ends)
+        while head < n and ends[head] < floor:
+            head += 1
+        self.head = head
+        if head > 4096 and head * 2 > n:
+            del ends[:head]
+            del self.items[:head]
+            self.head = 0
 
     def has_simultaneous(
         self,
-        channel: int,
         start_us: int,
         end_us: int,
         exclude: Tuple[Optional[MacAddress], ...],
     ) -> bool:
-        """Any overlapping transmission from a third party on ``channel``?"""
-        intervals = self._intervals.get(channel)
-        if not intervals:
-            return False
-        starts = self._starts[channel]
-        # Overlap requires other.start < end; scan a margin backwards for
-        # long frames that started earlier.
-        hi = bisect_left(starts, end_us)
-        lo = max(0, bisect_left(starts, start_us - 20_000))
+        """Any overlapping transmission from a third party?"""
+        ends = self.ends
+        # Overlap requires other.end > start and other.start < end; the
+        # latter bounds other.end by end + max frame airtime.
+        lo = bisect_right(ends, start_us, lo=self.head)
+        hi = bisect_right(ends, end_us + _DURATION_BOUND_US, lo=lo)
+        items = self.items
+        margin = start_us - SCAN_MARGIN_US
         for index in range(lo, hi):
-            other_start, other_end, transmitter = intervals[index]
-            if other_end <= start_us or other_start >= end_us:
+            other_start, _, transmitter = items[index]
+            # Scan only a bounded margin backwards for long frames that
+            # started earlier (the batch estimator's bisect bound).
+            if other_start < margin or other_start >= end_us:
                 continue
             if transmitter is not None and transmitter in exclude:
                 continue
@@ -186,33 +224,83 @@ class _ChannelTimeline:
         return False
 
 
-def estimate_interference(
-    report: JigsawReport,
-    min_packets: int = 100,
-) -> InterferenceResult:
-    """Run the Section 7.2 estimator over a pipeline report."""
-    _, aps = identify_stations(report)
-    timeline = _ChannelTimeline(report.jframes)
-    counters: Dict[Tuple[MacAddress, MacAddress], List[int]] = defaultdict(
-        lambda: [0, 0, 0, 0, 0]  # n, n0, nl0, nx, nlx
-    )
-    for attempt in report.attempts:
+class InterferenceScanner:
+    """Incremental Section 7.2 estimator.
+
+    Feed jframes (occupancy) and attempts (scored transmissions) in
+    stream order; :meth:`result` builds the scored pair population.  The
+    per-channel windows self-prune, so memory stays bounded by the
+    airtime horizon when driven from the live pipeline.
+    """
+
+    def __init__(self) -> None:
+        self._windows: Dict[int, _ChannelWindow] = defaultdict(_ChannelWindow)
+        self._counters: Dict[
+            Tuple[MacAddress, MacAddress], List[int]
+        ] = defaultdict(lambda: [0, 0, 0, 0, 0])  # n, n0, nl0, nx, nlx
+        #: Attempts awaiting their overlap query: an attempt seals before
+        #: a *long* overlapping frame (started before the attempt's data
+        #: ended, ending after the seal point) has arrived, so queries
+        #: wait until the jframe watermark passes end + max airtime.
+        self._pending: "deque[TransmissionAttempt]" = deque()
+        #: Largest data end over scorable attempts fed so far.  Attempts
+        #: arrive in data-frame stream order, so every future query ends
+        #: at or after this — the only safe prune anchor in both feeding
+        #: styles (live interleaved, and replay where all jframes precede
+        #: all attempts).
+        self._max_attempt_end: Optional[int] = None
+
+    def feed_jframe(self, jframe: JFrame) -> None:
+        window = None
+        if jframe.duration_us > 0:
+            window = self._windows[jframe.channel]
+            window.add(jframe.start_us, jframe.end_us, jframe.transmitter)
+        watermark = jframe.timestamp_us
+        pending = self._pending
+        while (
+            pending
+            and pending[0].data.end_us + _DURATION_BOUND_US <= watermark
+        ):
+            self._score(pending.popleft())
+        if window is not None:
+            # Keep every channel's window bounded — including channels
+            # that never see a scored attempt (all-broadcast/management
+            # traffic), which would otherwise accumulate forever.  No
+            # future query can end before the oldest still-pending
+            # attempt, nor before the newest attempt fed so far.
+            if pending:
+                oldest = pending[0].data.end_us
+            elif self._max_attempt_end is not None:
+                oldest = self._max_attempt_end
+            else:
+                return
+            window.prune(oldest - _DURATION_BOUND_US - SCAN_MARGIN_US)
+
+    def feed_attempt(self, attempt: TransmissionAttempt) -> None:
         if (
             not attempt.has_data
             or attempt.is_broadcast
             or attempt.transmitter is None
             or attempt.receiver is None
         ):
-            continue
+            return
+        self._max_attempt_end = attempt.data.end_us
+        self._pending.append(attempt)
+
+    def _score(self, attempt: TransmissionAttempt) -> None:
         data = attempt.data
-        lost = not attempt.acked
-        simultaneous = timeline.has_simultaneous(
-            data.channel,
+        window = self._windows[data.channel]
+        # Attempts arrive in data-frame stream order, so every future
+        # query ends at or after this one; intervals ending more than a
+        # frame-airtime-plus-margin before it can never overlap again.
+        window.prune(data.end_us - _DURATION_BOUND_US - SCAN_MARGIN_US)
+        simultaneous = window.has_simultaneous(
             data.start_us,
             data.end_us,
             exclude=(attempt.transmitter, attempt.receiver),
         )
-        c = counters[(attempt.transmitter, attempt.receiver)]
+        lost = not attempt.acked
+        c = self._counters[(attempt.transmitter, attempt.receiver)]
         c[0] += 1
         if simultaneous:
             c[3] += 1
@@ -223,24 +311,66 @@ def estimate_interference(
             if lost:
                 c[2] += 1
 
-    pairs: List[PairInterference] = []
-    truncated = 0
-    for (sender, receiver), (n, n0, nl0, nx, nlx) in counters.items():
-        if n < min_packets:
-            continue
-        pair = PairInterference(
-            sender=sender,
-            receiver=receiver,
-            n=n,
-            n0=n0,
-            nl0=nl0,
-            nx=nx,
-            nlx=nlx,
-            sender_is_ap=sender in aps,
-        )
-        p = pair.p_interference
-        if p is not None and p < 0:
-            truncated += 1
-        pairs.append(pair)
-    pairs.sort(key=lambda p: (str(p.sender), str(p.receiver)))
-    return InterferenceResult(pairs=pairs, truncated_pairs=truncated)
+    def result(
+        self, aps: Set[MacAddress], min_packets: int = 100
+    ) -> InterferenceResult:
+        pending = self._pending
+        while pending:
+            self._score(pending.popleft())
+        pairs: List[PairInterference] = []
+        truncated = 0
+        for (sender, receiver), (n, n0, nl0, nx, nlx) in self._counters.items():
+            if n < min_packets:
+                continue
+            pair = PairInterference(
+                sender=sender,
+                receiver=receiver,
+                n=n,
+                n0=n0,
+                nl0=nl0,
+                nx=nx,
+                nlx=nlx,
+                sender_is_ap=sender in aps,
+            )
+            p = pair.p_interference
+            if p is not None and p < 0:
+                truncated += 1
+            pairs.append(pair)
+        pairs.sort(key=lambda p: (str(p.sender), str(p.receiver)))
+        return InterferenceResult(pairs=pairs, truncated_pairs=truncated)
+
+
+class InterferencePass(PipelinePass):
+    """Streaming Figure 9: the scanner fed from the pipeline's loop."""
+
+    name = "interference"
+
+    def __init__(
+        self,
+        min_packets: int = 100,
+        tracker: Optional[StationTracker] = None,
+    ) -> None:
+        self.min_packets = min_packets
+        self._scanner = InterferenceScanner()
+        self._tracker = tracker or StationTracker()
+
+    def on_jframe(self, jframe) -> None:
+        self._tracker.feed(jframe)
+        self._scanner.feed_jframe(jframe)
+
+    def on_attempt(self, attempt) -> None:
+        self._scanner.feed_attempt(attempt)
+
+    def finish(self, context: Optional[PassContext]) -> InterferenceResult:
+        _, aps = self._tracker.finish()
+        return self._scanner.result(aps, min_packets=self.min_packets)
+
+
+def estimate_interference(
+    report: JigsawReport,
+    min_packets: int = 100,
+) -> InterferenceResult:
+    """Run the Section 7.2 estimator over a pipeline report."""
+    return run_passes(report, [InterferencePass(min_packets=min_packets)])[
+        "interference"
+    ]

@@ -11,6 +11,15 @@ impacts 802.11g clients".  The method is the paper's:
 * an AP is overprotective in a time slot when it protects although no
   802.11b client has been in range within a *practical* timeout (one
   minute, versus the production policy's hour).
+
+:class:`ProtectionPass` streams the analysis off the pipeline's jframe
+feed.  Every decision that depends on trace-global knowledge — the
+client/AP split, the 802.11b classification, the final client->AP
+association map — is deferred: the pass accumulates compact event tuples
+(CTS targets, probe responses, per-bin data pairs) and resolves them in
+``finish`` exactly the way the batch two-walk implementation did, so the
+results are identical by construction.  :func:`analyze_protection` is
+the replay wrapper.
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType, frame_marks_cck_only
+from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport
-from .summary import identify_stations
+from .summary import StationTracker
 
 
 @dataclass
@@ -91,97 +101,155 @@ class ProtectionResult:
         return "\n".join(lines)
 
 
+class ProtectionPass(PipelinePass):
+    """Streaming Figure 10 analysis.
+
+    ``practical_timeout_us`` is the paper's "more practical timeout of one
+    minute"; compressed scenarios scale it with their bin size.
+
+    Memory note: because overprotectiveness at time ``t`` depends on the
+    trace-*global* client/AP/11b classification, CTS and probe-response
+    events are kept until ``finish`` — so this pass's accumulator scales
+    with the count of those two sparse frame classes (a small fraction of
+    a real trace; the batch implementation buffered the same events),
+    while DATA-frame activity is compacted to per-bin station-pair sets.
+    """
+
+    name = "protection"
+
+    def __init__(
+        self,
+        duration_us: int,
+        bin_us: int = 60_000_000,
+        practical_timeout_us: int = 60_000_000,
+        tracker: Optional[StationTracker] = None,
+    ) -> None:
+        self.duration_us = duration_us
+        self.bin_us = bin_us
+        self.practical_timeout_us = practical_timeout_us
+        self._tracker = tracker or StationTracker()
+        self._b_clients: Set[MacAddress] = set()
+        # Association candidates, resolved in finish(): association
+        # requests apply unconditionally, ToDS data only when the sender
+        # classifies as a client — and "last event wins", so each keeps
+        # its feed-order sequence number.
+        self._seq = 0
+        self._assoc_req: Dict[MacAddress, Tuple[int, MacAddress]] = {}
+        self._assoc_data: Dict[MacAddress, Tuple[int, MacAddress]] = {}
+        # Raw loop-2 events (same volume the batch analysis accumulated).
+        self._cts_events: List[Tuple[int, MacAddress]] = []    # (t, RA)
+        self._probe_resp: List[Tuple[int, MacAddress, MacAddress]] = []
+        # Per-bin DATA (sender, receiver) pairs: bounded by station pairs.
+        n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
+        self._n_bins = n_bins
+        self._data_pairs: List[Set[Tuple[MacAddress, MacAddress]]] = [
+            set() for _ in range(n_bins)
+        ]
+
+    def on_jframe(self, jframe) -> None:
+        frame = jframe.frame
+        if frame is None:
+            return
+        self._tracker.feed(jframe)
+        t = jframe.timestamp_us
+        sender = frame.addr2
+        ftype = frame.ftype
+        if frame_marks_cck_only(frame) and sender is not None:
+            self._b_clients.add(sender)
+        if ftype is FrameType.ASSOC_REQUEST and sender is not None:
+            self._seq += 1
+            self._assoc_req[sender] = (self._seq, frame.addr1)
+        elif ftype is FrameType.DATA and sender is not None and frame.to_ds:
+            self._seq += 1
+            self._assoc_data[sender] = (self._seq, frame.addr1)
+
+        if ftype is FrameType.CTS:
+            self._cts_events.append((t, frame.addr1))
+        elif ftype is FrameType.PROBE_RESPONSE and sender is not None:
+            self._probe_resp.append((t, sender, frame.addr1))
+        elif ftype is FrameType.DATA:
+            index = min(max(t, 0) // self.bin_us, self._n_bins - 1)
+            self._data_pairs[index].add((sender, frame.addr1))
+
+    def finish(self, context: Optional[PassContext]) -> ProtectionResult:
+        clients, aps = self._tracker.finish()
+        b_clients = self._b_clients
+        g_clients = {c for c in clients if c not in b_clients}
+
+        association: Dict[MacAddress, MacAddress] = {}
+        for sender, (seq, ap) in self._assoc_req.items():
+            association[sender] = ap
+        for sender, (seq, ap) in self._assoc_data.items():
+            if sender not in clients:
+                continue
+            prior = self._assoc_req.get(sender)
+            if prior is None or prior[0] < seq:
+                association[sender] = ap
+
+        b_in_range: Dict[MacAddress, List[int]] = defaultdict(list)
+        for t, sender, receiver in self._probe_resp:
+            if sender in aps and receiver in b_clients:
+                b_in_range[sender].append(t)
+        for times in b_in_range.values():
+            times.sort()
+
+        bin_us = self.bin_us
+        n_bins = self._n_bins
+        bins = [ProtectionBin(start_us=i * bin_us) for i in range(n_bins)]
+
+        def bin_of(t: int) -> ProtectionBin:
+            return bins[min(max(t, 0) // bin_us, n_bins - 1)]
+
+        for t, target in self._cts_events:
+            # CTS-to-self: RA names the protected transmitter.
+            if target in aps:
+                ap = target
+            elif target in association:
+                ap = association[target]
+            else:
+                continue
+            slot = bin_of(t)
+            slot.protecting_aps.add(ap)
+            if not _b_client_recently_in_range(
+                b_in_range.get(ap, ()), t, self.practical_timeout_us
+            ):
+                slot.overprotective_aps.add(ap)
+
+        for slot, pairs in zip(bins, self._data_pairs):
+            for sender, receiver in pairs:
+                if sender in g_clients:
+                    slot.active_g_clients.add(sender)
+                elif sender in aps and receiver in g_clients:
+                    slot.active_g_clients.add(receiver)
+
+        for slot in bins:
+            for client in slot.active_g_clients:
+                ap = association.get(client)
+                if ap is not None and ap in slot.overprotective_aps:
+                    slot.g_clients_on_overprotective.add(client)
+
+        return ProtectionResult(
+            bins=bins, bin_us=bin_us, b_clients=b_clients, g_clients=g_clients
+        )
+
+
 def analyze_protection(
     report: JigsawReport,
     duration_us: int,
     bin_us: int = 60_000_000,
     practical_timeout_us: int = 60_000_000,
 ) -> ProtectionResult:
-    """Figure 10 from a pipeline report.
-
-    ``practical_timeout_us`` is the paper's "more practical timeout of one
-    minute"; compressed scenarios scale it with their bin size.
-    """
-    clients, aps = identify_stations(report)
-
-    # Classify 802.11b clients by their advertised rate sets and observe
-    # client -> AP association plus per-event timelines in one pass.
-    b_clients: Set[MacAddress] = set()
-    association: Dict[MacAddress, MacAddress] = {}
-    cts_events: List[Tuple[int, MacAddress]] = []       # (t, protecting AP)
-    b_in_range: Dict[MacAddress, List[int]] = defaultdict(list)  # AP -> times
-    g_activity: List[Tuple[int, MacAddress]] = []       # (t, g client)
-
-    for jframe in report.jframes:
-        frame = jframe.frame
-        if frame is None:
-            continue
-        t = jframe.timestamp_us
-        sender = frame.addr2
-        if frame_marks_cck_only(frame) and sender is not None:
-            b_clients.add(sender)
-        if frame.ftype is FrameType.ASSOC_REQUEST and sender is not None:
-            association[sender] = frame.addr1
-        elif frame.ftype is FrameType.DATA and sender in clients and frame.to_ds:
-            association[sender] = frame.addr1
-
-    g_clients = {c for c in clients if c not in b_clients}
-
-    for jframe in report.jframes:
-        frame = jframe.frame
-        if frame is None:
-            continue
-        t = jframe.timestamp_us
-        sender = frame.addr2
-        if frame.ftype is FrameType.CTS:
-            # CTS-to-self: RA names the protected transmitter.
-            target = frame.addr1
-            if target in aps:
-                cts_events.append((t, target))
-            elif target in association:
-                cts_events.append((t, association[target]))
-        elif frame.ftype is FrameType.PROBE_RESPONSE and sender in aps:
-            if frame.addr1 in b_clients:
-                b_in_range[sender].append(t)
-        elif frame.ftype is FrameType.DATA and sender in g_clients:
-            g_activity.append((t, sender))
-        elif (
-            frame.ftype is FrameType.DATA
-            and sender in aps
-            and frame.addr1 in g_clients
-        ):
-            g_activity.append((t, frame.addr1))
-
-    for times in b_in_range.values():
-        times.sort()
-
-    n_bins = max(1, (duration_us + bin_us - 1) // bin_us)
-    bins = [ProtectionBin(start_us=i * bin_us) for i in range(n_bins)]
-
-    def bin_of(t: int) -> ProtectionBin:
-        return bins[min(max(t, 0) // bin_us, n_bins - 1)]
-
-    for t, ap in cts_events:
-        slot = bin_of(t)
-        slot.protecting_aps.add(ap)
-        if not _b_client_recently_in_range(
-            b_in_range.get(ap, ()), t, practical_timeout_us
-        ):
-            slot.overprotective_aps.add(ap)
-
-    for t, client in g_activity:
-        slot = bin_of(t)
-        slot.active_g_clients.add(client)
-
-    for slot in bins:
-        for client in slot.active_g_clients:
-            ap = association.get(client)
-            if ap is not None and ap in slot.overprotective_aps:
-                slot.g_clients_on_overprotective.add(client)
-
-    return ProtectionResult(
-        bins=bins, bin_us=bin_us, b_clients=b_clients, g_clients=g_clients
-    )
+    """Figure 10 from a pipeline report."""
+    return run_passes(
+        report,
+        [
+            ProtectionPass(
+                duration_us,
+                bin_us=bin_us,
+                practical_timeout_us=practical_timeout_us,
+            )
+        ],
+    )["protection"]
 
 
 def _b_client_recently_in_range(

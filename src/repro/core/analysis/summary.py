@@ -3,6 +3,13 @@
 "Table 1 presents the characteristics of the trace we use for our
 analyses" : duration, monitors, APs, clients, raw event counts, the error
 share, jframe counts and the events-per-jframe ratio.
+
+The analysis is implemented as :class:`SummaryPass`, a streaming
+:class:`~repro.core.passes.PipelinePass`; :func:`summarize` and
+:func:`identify_stations` are thin wrappers replaying a materialized
+report through the same code.  :class:`StationTracker` — the incremental
+behavioural client/AP classifier — is shared by the activity, protection
+and interference passes.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType
 from ...jtrace.io import RadioTrace
 from ...jtrace.records import RecordKind
+from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport
 
 
@@ -65,32 +73,108 @@ class TraceSummary:
         )
 
 
-def identify_stations(report: JigsawReport) -> Tuple[Set[MacAddress], Set[MacAddress]]:
-    """Split observed transmitters into (clients, aps) from behaviour.
+class StationTracker:
+    """Incremental behavioural (clients, aps) classification.
 
     APs reveal themselves by sending beacons/probe responses; clients by
-    sending probe/association requests or ToDS data.  This is how a passive
-    observer classifies stations — no configuration knowledge needed.
+    sending probe/association requests or ToDS data.  This is how a
+    passive observer classifies stations — no configuration knowledge
+    needed.  Feed jframes as they stream; :meth:`finish` resolves the
+    client/AP overlap exactly like the batch classifier (a station that
+    ever behaved like an AP is not a client).
+
+    One tracker instance can be shared by several passes registered on
+    the same run (each pass accepts ``tracker=``): ``feed`` remembers the
+    last jframe by identity, so the classification work is done once per
+    jframe no matter how many passes forward it.
     """
-    aps: Set[MacAddress] = set()
-    clients: Set[MacAddress] = set()
-    for jframe in report.jframes:
+
+    __slots__ = ("_aps", "_clients", "_last")
+
+    def __init__(self) -> None:
+        self._aps: Set[MacAddress] = set()
+        self._clients: Set[MacAddress] = set()
+        self._last = None
+
+    def feed(self, jframe) -> None:
+        if jframe is self._last:
+            return
+        self._last = jframe
         frame = jframe.frame
         if frame is None or frame.addr2 is None:
-            continue
-        if frame.ftype in (FrameType.BEACON, FrameType.PROBE_RESPONSE,
-                           FrameType.ASSOC_RESPONSE):
-            aps.add(frame.addr2)
-        elif frame.ftype in (FrameType.PROBE_REQUEST, FrameType.ASSOC_REQUEST,
-                             FrameType.AUTH):
-            clients.add(frame.addr2)
-        elif frame.ftype is FrameType.DATA:
+            return
+        ftype = frame.ftype
+        if ftype in (FrameType.BEACON, FrameType.PROBE_RESPONSE,
+                     FrameType.ASSOC_RESPONSE):
+            self._aps.add(frame.addr2)
+        elif ftype in (FrameType.PROBE_REQUEST, FrameType.ASSOC_REQUEST,
+                       FrameType.AUTH):
+            self._clients.add(frame.addr2)
+        elif ftype is FrameType.DATA:
             if frame.to_ds:
-                clients.add(frame.addr2)
+                self._clients.add(frame.addr2)
             elif frame.from_ds:
-                aps.add(frame.addr2)
-    clients -= aps
-    return clients, aps
+                self._aps.add(frame.addr2)
+
+    def finish(self) -> Tuple[Set[MacAddress], Set[MacAddress]]:
+        """(clients, aps) — snapshots, safe to keep after more feeding."""
+        return self._clients - self._aps, set(self._aps)
+
+
+class SummaryPass(PipelinePass):
+    """Streaming Table 1 summary."""
+
+    name = "summary"
+
+    def __init__(
+        self, duration_us: int, tracker: Optional[StationTracker] = None
+    ) -> None:
+        self.duration_us = duration_us
+        self._tracker = tracker or StationTracker()
+
+    def on_jframe(self, jframe) -> None:
+        self._tracker.feed(jframe)
+
+    def finish(self, context: Optional[PassContext]) -> TraceSummary:
+        if context is None or not context.traces:
+            raise ValueError(
+                "SummaryPass needs the run's input radio traces to count "
+                "raw/error events: a live pipeline run provides them "
+                "automatically, a replay must pass "
+                "run_passes(report, passes, traces=...)"
+            )
+        clients, aps = self._tracker.finish()
+        traces = context.traces
+        total_events = sum(len(trace) for trace in traces)
+        error_events = sum(
+            1
+            for trace in traces
+            for record in trace
+            if record.kind is not RecordKind.VALID
+        )
+        stats = context.unify_stats
+        return TraceSummary(
+            duration_s=self.duration_us / 1e6,
+            n_radios=len(traces),
+            total_events=total_events,
+            error_events=error_events,
+            jframes=stats.jframes,
+            events_per_jframe=stats.events_per_jframe,
+            unique_clients=len(clients),
+            unique_aps=len(aps),
+            transmission_attempts=context.attempt_stats.attempts,
+            frame_exchanges=context.exchange_stats.exchanges,
+            tcp_flows=context.n_flows,
+            completed_handshakes=context.transport_stats.handshakes_completed,
+        )
+
+
+def identify_stations(report: JigsawReport) -> Tuple[Set[MacAddress], Set[MacAddress]]:
+    """Split observed transmitters into (clients, aps) from behaviour."""
+    tracker = StationTracker()
+    for jframe in report.jframes:
+        tracker.feed(jframe)
+    return tracker.finish()
 
 
 def summarize(
@@ -99,26 +183,6 @@ def summarize(
     duration_us: int,
 ) -> TraceSummary:
     """Build the Table 1 summary from a pipeline report and its inputs."""
-    total_events = sum(len(trace) for trace in traces)
-    error_events = sum(
-        1
-        for trace in traces
-        for record in trace
-        if record.kind is not RecordKind.VALID
-    )
-    clients, aps = identify_stations(report)
-    stats = report.unification.stats
-    return TraceSummary(
-        duration_s=duration_us / 1e6,
-        n_radios=len(traces),
-        total_events=total_events,
-        error_events=error_events,
-        jframes=stats.jframes,
-        events_per_jframe=stats.events_per_jframe,
-        unique_clients=len(clients),
-        unique_aps=len(aps),
-        transmission_attempts=report.attempt_stats.attempts,
-        frame_exchanges=report.exchange_stats.exchanges,
-        tcp_flows=len(report.flows),
-        completed_handshakes=report.transport_stats.handshakes_completed,
-    )
+    return run_passes(report, [SummaryPass(duration_us)], traces=traces)[
+        "summary"
+    ]

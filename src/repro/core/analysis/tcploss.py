@@ -11,8 +11,9 @@ headline: the wireless component dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport
 from ..transport.flows import TcpFlow
 from ..transport.inference import LossCause
@@ -96,10 +97,21 @@ class TcpLossResult:
         return "\n".join(lines)
 
 
-def analyze_tcp_loss(report: JigsawReport) -> TcpLossResult:
-    """Figure 11 from a pipeline report (completed-handshake flows only)."""
-    rows: List[FlowLossRates] = []
-    for flow in report.completed_flows():
+class TcpLossPass(PipelinePass):
+    """Streaming Figure 11: fold each completed flow as it is delivered.
+
+    Flows arrive on :meth:`on_flow` after transport inference, so their
+    loss events are already classified.
+    """
+
+    name = "tcp_loss"
+
+    def __init__(self) -> None:
+        self._rows: List[FlowLossRates] = []
+
+    def on_flow(self, flow: TcpFlow) -> None:
+        if not flow.handshake_complete:
+            return
         wireless = sum(
             1 for e in flow.loss_events if e.cause is LossCause.WIRELESS
         )
@@ -107,7 +119,7 @@ def analyze_tcp_loss(report: JigsawReport) -> TcpLossResult:
         unknown = sum(
             1 for e in flow.loss_events if e.cause is LossCause.UNKNOWN
         )
-        rows.append(
+        self._rows.append(
             FlowLossRates(
                 flow=flow,
                 data_segments=len(flow.data_observations),
@@ -116,4 +128,11 @@ def analyze_tcp_loss(report: JigsawReport) -> TcpLossResult:
                 unknown_losses=unknown,
             )
         )
-    return TcpLossResult(flows=rows)
+
+    def finish(self, context: Optional[PassContext]) -> TcpLossResult:
+        return TcpLossResult(flows=self._rows)
+
+
+def analyze_tcp_loss(report: JigsawReport) -> TcpLossResult:
+    """Figure 11 from a pipeline report (completed-handshake flows only)."""
+    return run_passes(report, [TcpLossPass()])["tcp_loss"]

@@ -25,13 +25,31 @@ Transport-layer inference (Section 5.2) later upgrades the ``None``s.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...dot11.address import MacAddress
 from ...dot11.constants import EXCHANGE_HORIZON_US, RETRY_LIMIT, SEQ_MODULO
 from ..unify.jframe import JFrame
 from .attempt import TransmissionAttempt
+
+#: How far an attempt's ``start_us`` may regress behind the end of the
+#: jframe that created it.  An attempt starts no earlier than its attached
+#: protection CTS, whose reservation (bounded by the 15-bit Duration field,
+#: <= 32.8 ms) must still cover the DATA frame's start; the DATA airtime
+#: itself is bounded by the longest legal PSDU at 1 Mb/s (~19 ms).  70 ms
+#: therefore safely over-covers the sum, so attempts arriving later in the
+#: stream can never start earlier than ``watermark - REORDER_SLACK``.
+EXCHANGE_REORDER_SLACK_US = 70_000
+
+#: Hard cap on one exchange's span, in horizons.  "Almost all frame
+#: exchanges can complete within 500 ms"; a compliant sender exhausts its
+#: retries well inside one horizon, so only a non-compliant sender
+#: retransmitting the same sequence number indefinitely can keep an
+#: exchange open longer — force-closing it bounds both the open-attempt
+#: list and the reorder buffer's emission lag.
+EXCHANGE_SPAN_LIMIT_HORIZONS = 8
 
 
 @dataclass
@@ -116,21 +134,64 @@ class ExchangeAssembler:
     """Per-transmitter FSM composing attempts into frame exchanges.
 
     Incremental API: :meth:`feed` consumes one attempt from the stream and
-    returns the exchanges it *closed* (in closure order — per-sender FSMs
-    close out of start-time order; batch callers sort at the end, and the
-    flow collector downstream is order-insensitive).  :meth:`finish`
-    closes every still-open exchange.  The batch :meth:`assemble` wraps
-    both and returns the familiar start-time-sorted list.
+    returns exchanges in ``start_us`` order (ties broken by closure order,
+    i.e. exactly the stable start-time sort of the closure sequence).
+    Per-sender FSMs close exchanges out of start order, so closed
+    exchanges sit in a small bounded reorder heap until no open exchange
+    — and no exchange a future attempt could still open — can precede
+    them.  A sender that goes silent cannot stall the buffer: once the
+    feed watermark passes an open exchange's last activity by more than
+    the horizon plus the reorder slack, any future attempt from that
+    sender would close it on arrival anyway, so it is closed eagerly
+    with ``finish()`` semantics (orphan ACKs resolved first); nor can a
+    non-compliant endless same-seq retransmission chain, whose exchange
+    is force-closed once its span passes a hard cap.  Emission therefore
+    lags the feed by at most a few exchange horizons, and downstream
+    consumers
+    (the pipeline's analysis passes) get in-order delivery without an
+    end-of-run sort barrier.  :meth:`finish` closes every still-open
+    exchange and drains the buffer.  The batch :meth:`assemble` wraps
+    both.
     """
 
-    def __init__(self, horizon_us: int = EXCHANGE_HORIZON_US) -> None:
+    def __init__(
+        self,
+        horizon_us: int = EXCHANGE_HORIZON_US,
+        reorder_slack_us: int = EXCHANGE_REORDER_SLACK_US,
+    ) -> None:
         self.horizon_us = horizon_us
+        self.reorder_slack_us = reorder_slack_us
         self.stats = ExchangeStats()
         self._senders: Dict[Optional[MacAddress], _SenderState] = {}
         self._closed = 0
+        #: States currently holding an open exchange (id(state) -> state):
+        #: the emission bound scans only these, and the stale sweep keeps
+        #: the set trimmed to senders active within the last few horizons.
+        self._open_states: Dict[int, _SenderState] = {}
+        #: States with queued orphan attempts: the sweep discards orphans
+        #: too old to ever resolve (resolution needs an open exchange
+        #: ending at or before the orphan, and every future exchange ends
+        #: after the watermark), so a sender whose data frames are never
+        #: captured cannot grow its queue O(trace).
+        self._orphan_states: Dict[int, _SenderState] = {}
+        #: Closed exchanges awaiting ordered emission: (start, seq, exch).
+        self._reorder: List[Tuple[int, int, FrameExchange]] = []
+        self._emit_seq = 0
+        #: Cached emission bound and the watermark that triggers its next
+        #: recomputation.  The bound only ever under-estimates (emission
+        #: may lag by one sweep step, never run early), so the
+        #: stale-sweep/min-start scan of the open set runs once per
+        #: quarter-horizon of trace time instead of once per attempt.
+        self._bound = float("-inf")
+        self._next_sweep = float("-inf")
+        #: Largest creation-jframe end time over fed attempts: attempts
+        #: arrive in creation order, so every future attempt's jframes end
+        #: at or after this — and its start can precede it by at most the
+        #: reorder slack.
+        self._watermark = float("-inf")
 
     def feed(self, attempt: TransmissionAttempt) -> List[FrameExchange]:
-        """Consume one attempt; return exchanges closed by it."""
+        """Consume one attempt; return exchanges ready in start order."""
         closed: List[FrameExchange] = []
         self.stats.attempts_in += 1
         state = self._senders.setdefault(attempt.transmitter, _SenderState())
@@ -159,6 +220,7 @@ class ExchangeAssembler:
             # An orphan (ACK- or CTS-only) attempt: queue until data
             # resolves its position.
             state.orphan_queue.append(attempt)
+            self._orphan_states[id(state)] = state
         elif state.last_seq is None or state.open_exchange is None:
             self._open_new(state, attempt, closed)
         else:
@@ -181,13 +243,95 @@ class ExchangeAssembler:
                 # R4: sequence gap — no inference; flush.
                 self.stats.orphans_discarded += len(state.orphan_queue)
                 state.orphan_queue.clear()
+                self._orphan_states.pop(id(state), None)
                 self._open_new(state, attempt, closed, moved_on=False)
 
+        # The attempt's creation jframe is its DATA frame when it has one
+        # (ACK matching may extend ``end_us`` past it), else its only
+        # jframe; creation-jframe ends are non-decreasing across the feed.
+        creation_end = (
+            attempt.data.end_us if attempt.data is not None else attempt.end_us
+        )
+        if creation_end > self._watermark:
+            self._watermark = creation_end
+
+        # Stale sweep + emission bound in one scan of the open set (which
+        # the sweep itself keeps trimmed to recently-active senders).  A
+        # sender silent for so long that any future attempt of its own
+        # (start >= watermark - slack) would trigger the staleness close
+        # above is treated like end-of-run: queued orphan ACKs are
+        # resolved against its open exchange first (finish() semantics —
+        # which can upgrade delivery where the on-arrival staleness close
+        # would not have; the same asymmetry the batch assembler always
+        # had between its staleness and finish paths), then the exchange
+        # closes with moved_on=False inference.  An exchange whose *span*
+        # exceeds the hard cap — only a non-compliant same-seq
+        # retransmission chain can do that — is force-closed the same
+        # way.  Without both rules an open exchange could pin the
+        # emission bound (and grow the buffer) forever.
+        #
+        # The scan is amortized: it runs once per quarter-horizon of
+        # watermark progress, not per attempt.  The cached bound stays
+        # valid in between — exchanges opened after a sweep start at or
+        # above (watermark-at-sweep - slack) >= bound, so a stale bound
+        # only *delays* emission by at most one step, never emits early.
+        if self._watermark >= self._next_sweep:
+            bound = self._watermark - self.reorder_slack_us
+            stale_deadline = bound - self.horizon_us
+            span_deadline = (
+                bound - EXCHANGE_SPAN_LIMIT_HORIZONS * self.horizon_us
+            )
+            open_states = self._open_states
+            if open_states:
+                stale: List[_SenderState] = []
+                for open_state in open_states.values():
+                    start = open_state.open_exchange.start_us
+                    if (
+                        open_state.last_time_us < stale_deadline
+                        or start < span_deadline
+                    ):
+                        stale.append(open_state)
+                    elif start < bound:
+                        bound = start
+                for open_state in stale:
+                    self._resolve_orphans(open_state, closed)
+                    self._close(open_state, closed, moved_on=False)
+            # Orphans queued by senders with no open exchange can only
+            # ever resolve against an exchange ending at or before them;
+            # every future exchange ends after the watermark, so orphans
+            # older than the bound are dead — discard them (the same
+            # verdict finish() or the next R3/R4 would reach).
+            if self._orphan_states:
+                for orphan_state in list(self._orphan_states.values()):
+                    if orphan_state.open_exchange is not None:
+                        continue  # handled when that exchange closes
+                    queue = orphan_state.orphan_queue
+                    kept = [o for o in queue if o.start_us >= bound]
+                    if len(kept) != len(queue):
+                        self.stats.orphans_discarded += len(queue) - len(kept)
+                        queue[:] = kept
+                    if not queue:
+                        self._orphan_states.pop(id(orphan_state), None)
+            self._bound = bound
+            self._next_sweep = self._watermark + self.horizon_us // 4
+
         self._closed += len(closed)
-        return closed
+        for exchange in closed:
+            heapq.heappush(
+                self._reorder,
+                (exchange.start_us, self._emit_seq, exchange),
+            )
+            self._emit_seq += 1
+        ready: List[FrameExchange] = []
+        reorder = self._reorder
+        bound = self._bound
+        while reorder and reorder[0][0] <= bound:
+            ready.append(heapq.heappop(reorder)[2])
+        return ready
 
     def finish(self) -> List[FrameExchange]:
-        """Close every open exchange and resolve remaining orphans.
+        """Close every open exchange, resolve remaining orphans and drain
+        the reorder buffer (in start order, like :meth:`feed`).
 
         Resets the per-sender FSM state so the assembler can be reused
         for another attempt stream (``stats`` counters keep accumulating).
@@ -199,13 +343,29 @@ class ExchangeAssembler:
         self._closed += len(closed)
         self.stats.exchanges = self._closed
         self._senders.clear()
+        self._open_states.clear()
+        self._orphan_states.clear()
         self._closed = 0
-        return closed
+        reorder = self._reorder
+        for exchange in closed:
+            heapq.heappush(reorder, (exchange.start_us, self._emit_seq, exchange))
+            self._emit_seq += 1
+        drained = [heapq.heappop(reorder)[2] for _ in range(len(reorder))]
+        self._watermark = float("-inf")
+        self._bound = float("-inf")
+        self._next_sweep = float("-inf")
+        self._emit_seq = 0
+        return drained
 
     def assemble(
         self, attempts: Sequence[TransmissionAttempt]
     ) -> List[FrameExchange]:
-        """Batch wrapper: feed every attempt, then sort by start time."""
+        """Batch wrapper: feed every attempt, then flush.
+
+        ``feed``/``finish`` already emit in start order; the sort is a
+        stable no-op safety net keeping the documented invariant
+        unconditional.
+        """
         exchanges: List[FrameExchange] = []
         for attempt in attempts:
             exchanges.extend(self.feed(attempt))
@@ -235,6 +395,7 @@ class ExchangeAssembler:
             exchange.needed_inference = True
             self.stats.attempts_needing_inference += 1
         state.open_exchange = exchange
+        self._open_states[id(state)] = state
         state.last_seq = attempt.seq
 
     def _close(
@@ -251,6 +412,7 @@ class ExchangeAssembler:
             self.stats.exchanges_needing_inference += 1
         exchanges.append(exchange)
         state.open_exchange = None
+        self._open_states.pop(id(state), None)
 
     def _infer_delivery(self, exchange: FrameExchange, moved_on: bool) -> None:
         """Deduce delivery from the sender's visible MAC behaviour.
@@ -313,3 +475,4 @@ class ExchangeAssembler:
             if not resolved:
                 self.stats.orphans_discarded += 1
         state.orphan_queue.clear()
+        self._orphan_states.pop(id(state), None)

@@ -12,25 +12,46 @@ Execution is *one-pass pipelined*: the unifier's jframe stream feeds the
 attempt assembler incrementally, sealed attempts feed the exchange FSM,
 and closed exchanges feed the flow collector — all four reconstruction
 layers advance together over a single traversal of the merged timeline
-instead of running as full-list barrier phases.  The report still carries
-the complete per-layer lists (the Section 6/7 analyses consume them), but
-no stage waits for an earlier stage to finish.
+instead of running as full-list barrier phases.
+
+Analyses tap that same traversal through the **pass API**
+(:mod:`repro.core.passes`)::
+
+    from repro.core.analysis import ActivityPass, SummaryPass
+
+    report = pipeline.run(
+        traces,
+        clock_groups=groups,
+        passes=[ActivityPass(duration_us, bin_us), SummaryPass(duration_us)],
+    )
+    timeline = report.passes["activity"]
+
+Each registered :class:`~repro.core.passes.PipelinePass` receives every
+jframe/attempt/exchange/flow as the loop produces it and surrenders its
+result into ``report.passes``.  Report materialization itself is just the
+built-in :class:`~repro.core.passes.MaterializePass`; disable it with
+``materialize=False`` (or use :meth:`JigsawPipeline.run_streaming`) to
+run analyses in bounded memory over arbitrarily long traces — the report
+then carries statistics, flows and pass results but empty per-layer
+lists.
 
 ``unifier`` may be a plain :class:`Unifier` or a
 :class:`~repro.core.unify.sharded.ShardedUnifier` — anything exposing
 ``stream_unify`` — so multi-core machines can parallelize the merge
-without touching the pipeline.
+without touching the pipeline (passes are fed from the merged stream in
+the parent process either way).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..jtrace.io import RadioTrace
 from .link.attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, ExchangeStats, FrameExchange
+from .passes import MaterializePass, PassContext, PipelinePass, check_pass_names
 from .sync.bootstrap import (
     BootstrapResult,
     bootstrap_synchronization,
@@ -44,7 +65,15 @@ from .unify.unifier import UnificationResult, Unifier
 
 @dataclass
 class JigsawReport:
-    """Everything the pipeline reconstructed, plus per-stage statistics."""
+    """Everything the pipeline reconstructed, plus per-stage statistics.
+
+    ``passes`` holds the result of every analysis pass registered on the
+    run, keyed by pass name.  ``materialized`` records whether the
+    per-layer lists were retained; a ``materialize=False`` report carries
+    empty ``jframes``/``attempts``/``exchanges`` (flows — bounded by
+    connection count, and required by transport inference — are always
+    kept).
+    """
 
     bootstrap: BootstrapResult
     unification: UnificationResult
@@ -55,6 +84,8 @@ class JigsawReport:
     flows: List[TcpFlow]
     transport_stats: InferenceStats
     elapsed_seconds: float
+    passes: Dict[str, Any] = field(default_factory=dict)
+    materialized: bool = True
 
     @property
     def jframes(self) -> List[JFrame]:
@@ -63,6 +94,16 @@ class JigsawReport:
     @property
     def tracks(self) -> Dict[int, ClockTrack]:
         return self.unification.tracks
+
+    def pass_result(self, name: str) -> Any:
+        """The result of a registered analysis pass, by name."""
+        try:
+            return self.passes[name]
+        except KeyError:
+            raise KeyError(
+                f"no pass named {name!r} ran on this report "
+                f"(available: {sorted(self.passes)})"
+            ) from None
 
     def completed_flows(self) -> List[TcpFlow]:
         """Flows with a completed handshake (Section 7.4's population)."""
@@ -87,7 +128,7 @@ class JigsawReport:
 
 
 class JigsawPipeline:
-    """traces -> bootstrap -> unify -> link -> transport."""
+    """traces -> bootstrap -> unify -> link -> transport (+ passes)."""
 
     def __init__(
         self,
@@ -104,14 +145,22 @@ class JigsawPipeline:
         traces: Sequence[RadioTrace],
         clock_groups: Sequence[Sequence[int]] = (),
         bootstrap: Optional[BootstrapResult] = None,
+        passes: Sequence[PipelinePass] = (),
+        materialize: bool = True,
     ) -> JigsawReport:
         """Run the full reconstruction.
 
         ``clock_groups`` is the infrastructure metadata (radios sharing a
         capture clock) used for cross-channel bridging; pass a precomputed
         ``bootstrap`` to skip that phase (ablations do).
+
+        ``passes`` are :class:`~repro.core.passes.PipelinePass` instances
+        driven inside the one-pass loop; each result lands in
+        ``report.passes[pass.name]``.  ``materialize=False`` drops the
+        built-in materialization pass, bounding memory for long traces.
         """
         started = time.perf_counter()
+        check_pass_names(passes)
         # ``sorted_by_local_time`` returns the trace itself when records
         # are already ordered (the common case), so this no longer copies
         # every record list.
@@ -125,46 +174,95 @@ class JigsawPipeline:
             )
 
         # One pass: jframes stream out of the merge and straight through
-        # attempt grouping, the exchange FSM and flow binning.
+        # attempt grouping, the exchange FSM, flow binning and every
+        # registered analysis pass.
+        materializer = MaterializePass() if materialize else None
+        active: List[PipelinePass] = list(passes)
+        if materializer is not None:
+            active.append(materializer)
         stream = self.unifier.stream_unify(ordered, bootstrap)
         attempt_assembler = AttemptAssembler()
         exchange_assembler = ExchangeAssembler()
         flow_collector = FlowCollector()
-        jframes: List[JFrame] = []
-        attempts: List[TransmissionAttempt] = []
-        exchanges: List[FrameExchange] = []
 
         def _advance(new_attempts: List[TransmissionAttempt]) -> None:
             for attempt in new_attempts:
-                attempts.append(attempt)
+                for p in active:
+                    p.on_attempt(attempt)
+                # The exchange assembler's reorder buffer emits in
+                # start_us order, so no end-of-run sort barrier is needed.
                 for exchange in exchange_assembler.feed(attempt):
-                    exchanges.append(exchange)
+                    for p in active:
+                        p.on_exchange(exchange)
                     flow_collector.feed(exchange)
 
         for jframe in stream:
-            jframes.append(jframe)
+            for p in active:
+                p.on_jframe(jframe)
             _advance(attempt_assembler.feed(jframe))
         _advance(attempt_assembler.finish())
         for exchange in exchange_assembler.finish():
-            exchanges.append(exchange)
+            for p in active:
+                p.on_exchange(exchange)
             flow_collector.feed(exchange)
-        exchanges.sort(key=lambda e: e.start_us)
 
         unification = UnificationResult(
-            jframes=jframes, tracks=stream.tracks, stats=stream.stats
+            jframes=materializer.jframes if materializer is not None else [],
+            tracks=stream.tracks,
+            stats=stream.stats,
         )
         flows = flow_collector.finish()
         transport = TransportInference()
         transport_stats = transport.run(flows)
+        for flow in flows:
+            for p in active:
+                p.on_flow(flow)
+
+        context = PassContext(
+            bootstrap=bootstrap,
+            tracks=unification.tracks,
+            unify_stats=unification.stats,
+            attempt_stats=attempt_assembler.stats,
+            exchange_stats=exchange_assembler.stats,
+            transport_stats=transport_stats,
+            traces=ordered,
+            n_flows=len(flows),
+        )
+        results = {p.name: p.finish(context) for p in passes}
+        if materializer is not None:
+            materializer.finish(context)
 
         return JigsawReport(
             bootstrap=bootstrap,
             unification=unification,
-            attempts=attempts,
+            attempts=materializer.attempts if materializer is not None else [],
             attempt_stats=attempt_assembler.stats,
-            exchanges=exchanges,
+            exchanges=materializer.exchanges if materializer is not None else [],
             exchange_stats=exchange_assembler.stats,
             flows=flows,
             transport_stats=transport_stats,
             elapsed_seconds=time.perf_counter() - started,
+            passes=results,
+            materialized=materialize,
+        )
+
+    def run_streaming(
+        self,
+        traces: Sequence[RadioTrace],
+        passes: Sequence[PipelinePass],
+        clock_groups: Sequence[Sequence[int]] = (),
+        bootstrap: Optional[BootstrapResult] = None,
+    ) -> JigsawReport:
+        """Bounded-memory entry point: analyses run inline, lists dropped.
+
+        Equivalent to ``run(..., passes=passes, materialize=False)`` —
+        the returned report carries statistics, flows and
+        ``report.passes`` results, but no jframe/attempt/exchange lists.
+        """
+        return self.run(
+            traces,
+            clock_groups=clock_groups,
+            bootstrap=bootstrap,
+            passes=passes,
+            materialize=False,
         )

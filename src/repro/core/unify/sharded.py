@@ -12,6 +12,13 @@ Every execution mode runs the same engine over the same deterministic
 shard order, so serial, streaming and process-pool unification produce
 jframe-for-jframe identical output to :meth:`Unifier.unify`
 (``tests/test_streaming_equivalence.py``).
+
+Both modes expose the same :class:`~repro.core.unify.unifier.UnifyStream`
+contract the pipeline's analysis passes are fed from: serial mode is
+fully lazy, and pool mode — which must materialize per-shard jframe
+lists in the workers — releases each shard entry as the k-way merge
+drains it, so a ``materialize=False`` pipeline run over a pool-backed
+unifier does not hold the merged timeline twice.
 """
 
 from __future__ import annotations
@@ -47,6 +54,20 @@ def _unify_shard(
     engine = _MergeEngine(unifier, traces, bootstrap)
     jframes = list(engine.run())
     return jframes, engine.tracks, engine.stats
+
+
+def _drain_shard(jframes: List[JFrame]) -> Iterator[JFrame]:
+    """Yield a shard's jframes, releasing each list slot as it is merged.
+
+    Pool mode receives whole shard lists back from the workers; feeding
+    the k-way merge through this generator means consumers that do not
+    retain jframes (``materialize=False`` pipeline runs with streaming
+    passes) only ever hold the unconsumed suffix.
+    """
+    for index in range(len(jframes)):
+        jframe = jframes[index]
+        jframes[index] = None
+        yield jframe
 
 
 class ShardedUnifier:
@@ -121,9 +142,13 @@ class ShardedUnifier:
         if workers <= 1:  # a single shard: nothing to parallelize
             return self.unifier.stream_unify(traces, bootstrap)
         results = self._run_pool(shards, bootstrap, workers)
-        merged = merge_shard_streams([jframes for jframes, _, _ in results])
+        merged = merge_shard_streams(
+            [_drain_shard(jframes) for jframes, _, _ in results]
+        )
         return _CompletedStream(
-            merged, results, [t.radio_id for t in traces]
+            merged,
+            [(tracks, stats) for _, tracks, stats in results],
+            [t.radio_id for t in traces],
         )
 
     def iter_unify(
@@ -145,28 +170,32 @@ class ShardedUnifier:
 
 
 class _CompletedStream(UnifyStream):
-    """UnifyStream over already-computed shard results (pool mode)."""
+    """UnifyStream over already-computed shard results (pool mode).
+
+    Holds only the per-shard (tracks, stats) metadata; the jframe lists
+    themselves are owned by the drain generators feeding the merge.
+    """
 
     def __init__(
         self,
         iterator: Iterator[JFrame],
-        results: Sequence[_ShardResult],
+        shard_meta: Sequence[Tuple[Dict[int, ClockTrack], UnifyStats]],
         track_order: Sequence[int],
     ) -> None:
         super().__init__(iterator, engines=(), track_order=track_order)
-        self._results = list(results)
+        self._shard_meta = list(shard_meta)
 
     @property
     def stats(self) -> UnifyStats:
         merged = UnifyStats()
-        for _, _, stats in self._results:
+        for _, stats in self._shard_meta:
             merged.merge(stats)
         return merged
 
     @property
     def tracks(self) -> Dict[int, ClockTrack]:
         combined: Dict[int, ClockTrack] = {}
-        for _, tracks, _ in self._results:
+        for tracks, _ in self._shard_meta:
             combined.update(tracks)
         return {
             rid: combined[rid]

@@ -39,7 +39,18 @@ class ExperimentRun:
         return self.config.duration_us
 
 
-_CACHE: Dict[Tuple[str, int], ExperimentRun] = {}
+_CACHE: Dict[Tuple[str, int, str], ExperimentRun] = {}
+
+
+def _config_fingerprint(config: ScenarioConfig) -> str:
+    """A deterministic digest of every scenario knob.
+
+    ``ScenarioConfig`` is a frozen dataclass of plain values (and nested
+    frozen dataclasses), so its ``repr`` enumerates the full
+    configuration — callers that share a cache name but override any
+    knob get distinct cache entries instead of silently sharing a run.
+    """
+    return repr(config)
 
 
 def building_config(seed: int = DEFAULT_SEED, **overrides) -> ScenarioConfig:
@@ -58,10 +69,16 @@ def get_run(
     config_factory: Callable[[], ScenarioConfig],
     seed: int = DEFAULT_SEED,
 ) -> ExperimentRun:
-    """Fetch (or compute and cache) a scenario run + pipeline report."""
-    key = (name, seed)
+    """Fetch (or compute and cache) a scenario run + pipeline report.
+
+    The cache key includes a fingerprint of the *full* config the factory
+    produces — not just ``(name, seed)`` — so two callers sharing a name
+    but differing in any override each get their own run.
+    """
+    config = config_factory()
+    key = (name, seed, _config_fingerprint(config))
     if key not in _CACHE:
-        artifacts = run_scenario(config_factory())
+        artifacts = run_scenario(config)
         report = JigsawPipeline().run(
             artifacts.radio_traces, clock_groups=artifacts.clock_groups()
         )

@@ -4,7 +4,7 @@
 real-time and scale well as a function of the number of radios.  Thus, we
 prefer an algorithm that can merge traces in a single pass over the data."
 
-Two checks:
+Three checks:
 
 * :func:`run_merge_performance` unifies a building-scale trace through the
   sharded streaming engine and compares wall-clock merge time against the
@@ -12,16 +12,22 @@ Two checks:
 * :func:`run_radio_scaling` repeats the merge over growing subsets of the
   radio fleet — the paper's "scale well as a function of the number of
   radios" — producing the sweep the benchmark suite persists to
-  ``BENCH_merge.json``.
+  ``BENCH_merge.json``;
+* :func:`run_memory_profile` measures (tracemalloc) peak heap of a full
+  pipeline run with analyses registered as streaming passes, materialized
+  versus ``materialize=False`` — the bounded-memory win that lets the
+  analyses serve traces far larger than RAM.
 """
 
 from __future__ import annotations
 
 import gc
 import time
+import tracemalloc
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..core.pipeline import JigsawPipeline
 from ..core.sync.bootstrap import bootstrap_synchronization
 from ..core.unify.sharded import ShardedUnifier
 from ..core.unify.unifier import Unifier, partition_traces
@@ -158,6 +164,108 @@ def run_radio_scaling(
     return points
 
 
+@dataclass
+class MemoryProfile:
+    """Peak pipeline heap, materialized vs streaming-pass execution."""
+
+    materialized_peak_bytes: int
+    streaming_peak_bytes: int
+    records: int
+    jframes: int
+
+    @property
+    def reduction_factor(self) -> float:
+        """>1 means the streaming run peaked lower."""
+        if self.streaming_peak_bytes == 0:
+            return float("inf")
+        return self.materialized_peak_bytes / self.streaming_peak_bytes
+
+    def format_table(self) -> str:
+        return "\n".join(
+            [
+                f"records in:             {self.records:,}",
+                f"jframes:                {self.jframes:,}",
+                "materialized peak heap: "
+                f"{self.materialized_peak_bytes / 1e6:.1f} MB",
+                "streaming peak heap:    "
+                f"{self.streaming_peak_bytes / 1e6:.1f} MB "
+                "(materialize=False, passes inline)",
+                f"reduction factor:       {self.reduction_factor:.2f}x",
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "materialized_peak_bytes": self.materialized_peak_bytes,
+            "streaming_peak_bytes": self.streaming_peak_bytes,
+            "records": self.records,
+            "jframes": self.jframes,
+            "reduction_factor": self.reduction_factor,
+        }
+
+
+def _representative_passes(duration_us: int) -> list:
+    """The pass set the memory profile runs inline (Figures 4/8/9, Table 1)."""
+    from ..core.analysis import (
+        ActivityPass,
+        DispersionPass,
+        InterferencePass,
+        StationTracker,
+        SummaryPass,
+    )
+
+    tracker = StationTracker()  # classify stations once, share across passes
+    return [
+        ActivityPass(
+            duration_us, bin_us=max(1, duration_us // 24), tracker=tracker
+        ),
+        DispersionPass(),
+        InterferencePass(min_packets=30, tracker=tracker),
+        SummaryPass(duration_us, tracker=tracker),
+    ]
+
+
+def run_memory_profile(run: ExperimentRun = None) -> MemoryProfile:
+    """Peak-heap comparison: materialized report vs streaming passes.
+
+    Both runs execute the identical pipeline (same precomputed bootstrap)
+    with the same analysis passes registered; the only difference is the
+    built-in materialization pass.  tracemalloc tracks every allocation,
+    so the peak includes jframe/attempt/exchange object graphs — exactly
+    what ``materialize=False`` exists to shed.
+    """
+    run = run or get_building_run()
+    traces = run.artifacts.radio_traces
+    bootstrap = bootstrap_synchronization(
+        traces, clock_groups=run.artifacts.clock_groups()
+    )
+
+    def _peak(materialize: bool) -> tuple:
+        pipeline = JigsawPipeline()
+        gc.collect()
+        tracemalloc.start()
+        try:
+            report = pipeline.run(
+                traces,
+                bootstrap=bootstrap,
+                passes=_representative_passes(run.duration_us),
+                materialize=materialize,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak, report.unification.stats
+
+    materialized_peak, stats = _peak(True)
+    streaming_peak, _ = _peak(False)
+    return MemoryProfile(
+        materialized_peak_bytes=materialized_peak,
+        streaming_peak_bytes=streaming_peak,
+        records=stats.records_in,
+        jframes=stats.jframes,
+    )
+
+
 def main() -> None:
     perf = run_merge_performance()
     print("=== Merge performance (Section 4 requirement) ===")
@@ -170,6 +278,9 @@ def main() -> None:
             f"{point.records_per_second:>10,.0f} rec/s  "
             f"({point.realtime_factor:.2f}x real time)"
         )
+    print()
+    print("=== Peak memory: materialized vs streaming passes ===")
+    print(run_memory_profile().format_table())
 
 
 if __name__ == "__main__":
