@@ -4,7 +4,12 @@ from .link.attempt import AttemptAssembler, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, FrameExchange
 from .passes import MaterializePass, PassContext, PipelinePass, run_passes
 from .pipeline import JigsawPipeline, JigsawReport
-from .sync.bootstrap import BootstrapResult, bootstrap_synchronization
+from .sync.bootstrap import (
+    BootstrapResult,
+    SyncPartitionError,
+    bootstrap_synchronization,
+)
+from .sync.sharded import ShardedBootstrap
 from .sync.skew import ClockTrack
 from .transport.flows import FlowKey, TcpFlow, collect_flows
 from .transport.inference import LossCause, TransportInference
@@ -23,6 +28,8 @@ __all__ = [
     "PipelinePass",
     "run_passes",
     "BootstrapResult",
+    "ShardedBootstrap",
+    "SyncPartitionError",
     "bootstrap_synchronization",
     "ClockTrack",
     "FlowKey",

@@ -40,6 +40,15 @@ lists.
 ``stream_unify`` — so multi-core machines can parallelize the merge
 without touching the pipeline (passes are fed from the merged stream in
 the parent process either way).
+
+The bootstrap prepass is likewise channel-sharded
+(:class:`~repro.core.sync.sharded.ShardedBootstrap`, serial or pool via
+``bootstrap_workers``) and fused with ingest: each trace's records are
+consumed exactly once for the examination window — widening rounds feed
+only the delta — and file-backed
+:class:`~repro.jtrace.io.StreamingRadioTrace` inputs decode just that
+prefix before unification replays the buffered read.  Every trace is
+read once per run, not twice.
 """
 
 from __future__ import annotations
@@ -48,14 +57,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..jtrace.io import RadioTrace
+from ..jtrace.io import RadioTrace, StreamingRadioTrace
 from .link.attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, ExchangeStats, FrameExchange
 from .passes import MaterializePass, PassContext, PipelinePass, check_pass_names
-from .sync.bootstrap import (
-    BootstrapResult,
-    bootstrap_synchronization,
-)
+from .sync.bootstrap import BootstrapResult
+from .sync.sharded import ShardedBootstrap
 from .sync.skew import ClockTrack
 from .transport.flows import FlowCollector, TcpFlow
 from .transport.inference import InferenceStats, TransportInference
@@ -135,10 +142,18 @@ class JigsawPipeline:
         unifier: Optional[Unifier] = None,
         bootstrap_window_us: int = 1_000_000,
         auto_widen_bootstrap: bool = True,
+        bootstrap_workers: Optional[int] = 1,
     ) -> None:
         self.unifier = unifier or Unifier()
         self.bootstrap_window_us = bootstrap_window_us
         self.auto_widen_bootstrap = auto_widen_bootstrap
+        # The prepass runs channel-sharded with single-read ingest.
+        # Like the merge (which defaults to a plain serial ``Unifier``),
+        # pools are opt-in: ``1`` (default) runs in-process — collection
+        # is a ~100 ms stage on a building trace, far below pool spawn
+        # cost — ``n > 1`` caps a process pool, ``None`` auto-sizes one
+        # to the machine.
+        self.bootstrap_workers = bootstrap_workers
 
     def run(
         self,
@@ -147,31 +162,54 @@ class JigsawPipeline:
         bootstrap: Optional[BootstrapResult] = None,
         passes: Sequence[PipelinePass] = (),
         materialize: bool = True,
+        trim_exchange_refs: Optional[bool] = None,
     ) -> JigsawReport:
         """Run the full reconstruction.
 
         ``clock_groups`` is the infrastructure metadata (radios sharing a
         capture clock) used for cross-channel bridging; pass a precomputed
-        ``bootstrap`` to skip that phase (ablations do).
+        ``bootstrap`` to skip that phase (ablations do).  Otherwise the
+        prepass runs through the channel-sharded coordinator with
+        single-read ingest: each trace's records are consumed exactly
+        once for the bootstrap window (widening rounds feed only the
+        delta), and :class:`~repro.jtrace.io.StreamingRadioTrace` inputs
+        decode just that prefix before unification replays the buffer —
+        no second read of the trace.
 
         ``passes`` are :class:`~repro.core.passes.PipelinePass` instances
         driven inside the one-pass loop; each result lands in
         ``report.passes[pass.name]``.  ``materialize=False`` drops the
         built-in materialization pass, bounding memory for long traces.
+        ``trim_exchange_refs`` severs observation -> exchange
+        back-references once transport inference has folded its verdicts
+        into the flows, so the returned report's flows stop retaining the
+        data-subset jframe graph; the default (``None``) trims exactly
+        when ``materialize=False`` — a materialized report holds every
+        exchange anyway.
         """
         started = time.perf_counter()
         check_pass_names(passes)
+        if trim_exchange_refs is None:
+            trim_exchange_refs = not materialize
         # ``sorted_by_local_time`` returns the trace itself when records
         # are already ordered (the common case), so this no longer copies
-        # every record list.
-        ordered = [trace.sorted_by_local_time() for trace in traces]
+        # every record list.  Streaming traces validate ordering during
+        # their (single) decode instead — sorting them here would force a
+        # full drain before bootstrap could overlap with ingest.
+        ordered = [
+            trace
+            if isinstance(trace, StreamingRadioTrace)
+            else trace.sorted_by_local_time()
+            for trace in traces
+        ]
         if bootstrap is None:
-            bootstrap = bootstrap_synchronization(
-                ordered,
-                clock_groups=clock_groups,
+            # Built per run so reconfiguring the public attributes
+            # (window, widening, workers) between runs keeps working.
+            bootstrap = ShardedBootstrap(
+                max_workers=self.bootstrap_workers,
                 window_us=self.bootstrap_window_us,
                 auto_widen=self.auto_widen_bootstrap,
-            )
+            ).bootstrap(ordered, clock_groups=clock_groups)
 
         # One pass: jframes stream out of the merge and straight through
         # attempt grouping, the exchange FSM, flow binning and every
@@ -217,6 +255,12 @@ class JigsawPipeline:
         for flow in flows:
             for p in active:
                 p.on_flow(flow)
+        if trim_exchange_refs:
+            # Inference and the on_flow hooks have consumed the exchange
+            # back-references; severing them lets the data jframes go the
+            # way of the rest of the unmaterialized timeline.
+            for flow in flows:
+                flow.trim_exchange_refs()
 
         context = PassContext(
             bootstrap=bootstrap,

@@ -5,15 +5,20 @@ from .bootstrap import (
     DEFAULT_BOOTSTRAP_WINDOW_US,
     SyncPartitionError,
     bootstrap_synchronization,
+    union_shard_payloads,
 )
 from .refs import ReferenceKey, content_key, parse_record_frame, reference_key
 from .skew import ClockTrack, DEFAULT_SKEW_ALPHA
+from .sharded import ShardedBootstrap, resolve_pool_workers
 
 __all__ = [
     "BootstrapResult",
     "DEFAULT_BOOTSTRAP_WINDOW_US",
+    "ShardedBootstrap",
     "SyncPartitionError",
     "bootstrap_synchronization",
+    "resolve_pool_workers",
+    "union_shard_payloads",
     "ReferenceKey",
     "content_key",
     "parse_record_frame",

@@ -16,7 +16,30 @@ unification begins:
    never heard by a radio parked on channel 11.
 
 Radios unreachable from ``r1`` are reported as a partition — the failure
-mode the paper hits when reducing to 10 pods (Section 6).
+mode the paper hits when reducing to 10 pods (Section 6).  Callers that
+cannot proceed partitioned pass ``strict=True`` to get a
+:class:`SyncPartitionError` instead of a partitioned result.
+
+Collection architecture
+-----------------------
+
+Reference-set collection is *incremental and shardable*: a
+:class:`_BootstrapShard` consumes records one (or a slice) at a time via
+``feed()``/``feed_slice()`` and surrenders its accumulated sets from
+``finish()``.  Because a frame on channel 1 is never heard by a radio
+parked on channel 11, shards split cleanly by channel; the union of shard
+payloads — members are disjoint per radio, arrival order is recorded as
+absolute ``(trace position, record index)`` pairs — reproduces the
+single-threaded collection exactly, in any merge order.
+:mod:`repro.core.sync.sharded` provides the coordinator
+(:class:`~repro.core.sync.sharded.ShardedBootstrap`) that runs shards
+serially or on a process pool and overlaps collection with trace ingest.
+
+Every downstream step (:func:`_select_covering_family`,
+:func:`_bfs_offsets`) is deterministic given the set *values*: tie-breaks
+between equal-size reference sets use the recorded arrival order — never
+dict insertion order — so serial, sharded and pool execution produce
+bit-identical offsets.
 """
 
 from __future__ import annotations
@@ -26,10 +49,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...jtrace.io import RadioTrace
+from ...jtrace.records import TraceRecord
 from .refs import ReferenceKey, reference_key
 
 #: Default bootstrap examination window ("the first second of data").
 DEFAULT_BOOTSTRAP_WINDOW_US = 1_000_000
+
+#: Absolute arrival coordinate of a reference set's first sighting:
+#: ``(position of the trace in the input sequence, record index)``.  Being
+#: absolute — not a collection-order counter — it is identical whether the
+#: records were consumed serially, shard-by-shard, or in widening
+#: increments.
+ArrivalIndex = Tuple[int, int]
+
+#: One shard's collected payload: every reference set seen (singletons
+#: included — a set may reach two members only after a cross-shard union),
+#: its first-arrival index, and the count of qualifying records.
+ShardPayload = Tuple[Dict[ReferenceKey, Dict[int, int]], Dict[ReferenceKey, ArrivalIndex], int]
 
 
 class SyncPartitionError(RuntimeError):
@@ -61,33 +97,169 @@ class BootstrapResult:
         return not self.unreachable
 
 
-def _collect_reference_sets(
-    traces: Sequence[RadioTrace], window_us: int
-) -> Tuple[Dict[ReferenceKey, Dict[int, int]], int]:
-    """Map reference key -> {radio_id: local timestamp} within the window."""
-    sets: Dict[ReferenceKey, Dict[int, int]] = defaultdict(dict)
-    seen = 0
-    for trace in traces:
-        first = trace.first_timestamp_us
-        if first is None:
-            continue
-        for record in trace.records:
-            if record.timestamp_us - first > window_us:
-                break
-            key = reference_key(record)
+class _BootstrapShard:
+    """Incremental reference-set collector for one channel shard.
+
+    Consumes records via :meth:`feed` (or the batch fast path
+    :meth:`feed_slice`) and accumulates ``E_k`` member sets keyed by
+    reference content.  The caller owns window gating — a shard never
+    rejects a record — which is what lets the auto-widen loop continue
+    feeding exactly the records between the old and new window limits
+    instead of re-reading from the start.
+    """
+
+    __slots__ = ("_sets", "_order", "_seen")
+
+    def __init__(self) -> None:
+        self._sets: Dict[ReferenceKey, Dict[int, int]] = {}
+        self._order: Dict[ReferenceKey, ArrivalIndex] = {}
+        self._seen = 0
+
+    def feed(
+        self,
+        record: TraceRecord,
+        radio_id: int,
+        trace_pos: int = 0,
+        record_idx: int = 0,
+    ) -> None:
+        """Collect one record of radio ``radio_id``, if it qualifies."""
+        self.feed_slice(
+            (record,), 0, 1, trace_pos, radio_id, index_base=record_idx
+        )
+
+    def feed_slice(
+        self,
+        records: Sequence[TraceRecord],
+        lo: int,
+        hi: int,
+        trace_pos: int,
+        radio_id: int,
+        index_base: int = 0,
+    ) -> None:
+        """Batch fast path: collect ``records[lo:hi]`` of one trace.
+
+        The caller has already resolved the window cutoff (one bisect per
+        trace per widen round), so this loop carries no per-record window
+        compare — the hot path of the prepass.  ``radio_id`` is the
+        *owning trace's* radio — the attribution the merge engine also
+        uses — not the record's own field, so a mislabeled record cannot
+        smuggle a foreign radio into the offset graph.  ``index_base``
+        re-anchors a shipped sub-slice at its absolute record index
+        (pool workers receive ``records[lo:hi]`` as a fresh list
+        starting at 0).
+        """
+        sets = self._sets
+        order = self._order
+        ref_key = reference_key
+        seen = 0
+        for idx in range(lo, hi):
+            record = records[idx]
+            key = ref_key(record)
             if key is None:
                 continue
             seen += 1
-            # A radio hears one transmission once; keep the earliest.
-            sets[key].setdefault(trace.radio_id, record.timestamp_us)
-    shared = {k: v for k, v in sets.items() if len(v) >= 2}
-    return shared, seen
+            members = sets.get(key)
+            if members is None:
+                sets[key] = {radio_id: record.timestamp_us}
+                order[key] = (trace_pos, index_base + idx)
+            else:
+                # A radio hears one transmission once; keep the earliest.
+                members.setdefault(radio_id, record.timestamp_us)
+                # A widening round can sight a key at an earlier
+                # (trace, record) coordinate than the round that created
+                # it; arrival order is the global minimum so incremental
+                # feeding matches a from-scratch collection.
+                arrival = (trace_pos, index_base + idx)
+                if arrival < order[key]:
+                    order[key] = arrival
+        self._seen += seen
+
+    def finish(self) -> ShardPayload:
+        """This shard's accumulated payload (shareable, not consumed)."""
+        return self._sets, self._order, self._seen
+
+
+def union_shard_payloads(
+    payloads: Iterable[ShardPayload],
+) -> Tuple[Dict[ReferenceKey, Dict[int, int]], Dict[ReferenceKey, ArrivalIndex], int]:
+    """Union shard payloads into one global collection.
+
+    Order-independent by construction: a radio's records live in exactly
+    one shard, so member dicts merge disjointly; arrival indices are
+    absolute, so a cross-shard content collision keeps the globally
+    earliest sighting regardless of merge order.
+    """
+    sets: Dict[ReferenceKey, Dict[int, int]] = {}
+    order: Dict[ReferenceKey, ArrivalIndex] = {}
+    seen = 0
+    merged: Set[ReferenceKey] = set()
+    for shard_sets, shard_order, shard_seen in payloads:
+        seen += shard_seen
+        for key, members in shard_sets.items():
+            existing = sets.get(key)
+            if existing is None:
+                sets[key] = members
+                order[key] = shard_order[key]
+            elif existing is not members:
+                # Cross-shard content collision (rare): merge into a copy
+                # so the shard's own accumulator is never mutated.
+                if key not in merged:
+                    existing = dict(existing)
+                    sets[key] = existing
+                    merged.add(key)
+                for radio, ts in members.items():
+                    existing.setdefault(radio, ts)
+                if shard_order[key] < order[key]:
+                    order[key] = shard_order[key]
+    return sets, order, seen
+
+
+def _collect_reference_sets(
+    traces: Sequence[RadioTrace], window_us: int
+) -> Tuple[Dict[ReferenceKey, Dict[int, int]], Dict[ReferenceKey, ArrivalIndex], int]:
+    """Map reference key -> {radio_id: local timestamp} within the window.
+
+    The single-threaded reference implementation: one shard fed every
+    trace in order.  Returns all sets (callers filter to the shared ones)
+    plus the arrival-order index used for deterministic tie-breaking.
+    """
+    shard = _BootstrapShard()
+    for trace_pos, trace in enumerate(traces):
+        first = trace.first_timestamp_us
+        if first is None:
+            continue
+        records = trace.records
+        limit = first + window_us
+        hi = 0
+        for record in records:
+            if record.timestamp_us > limit:
+                break
+            hi += 1
+        shard.feed_slice(records, 0, hi, trace_pos, trace.radio_id)
+    return shard.finish()
+
+
+def _shared_sets(
+    sets: Dict[ReferenceKey, Dict[int, int]],
+) -> Dict[ReferenceKey, Dict[int, int]]:
+    """Only the sets heard by two or more radios synchronize anything."""
+    return {k: v for k, v in sets.items() if len(v) >= 2}
 
 
 def _select_covering_family(
-    shared: Dict[ReferenceKey, Dict[int, int]], radios: Sequence[int]
+    shared: Dict[ReferenceKey, Dict[int, int]],
+    radios: Sequence[int],
+    order: Optional[Dict[ReferenceKey, ArrivalIndex]] = None,
 ) -> List[Dict[int, int]]:
-    """Pick, per uncovered radio, its largest E_k; stop at full coverage."""
+    """Pick, per uncovered radio, its largest E_k; stop at full coverage.
+
+    Tie-breaking between equal-size reference sets is by earliest arrival
+    (``order``), which is a property of the data — not of dict insertion
+    order — so the same family is chosen no matter how the sets were
+    collected or merged.
+    """
+    if order is None:  # arbitrary but fixed: keys are plain value tuples
+        order = {key: (0, i) for i, key in enumerate(sorted(shared))}
     by_radio: Dict[int, List[ReferenceKey]] = defaultdict(list)
     for key, members in shared.items():
         for radio in members:
@@ -101,7 +273,7 @@ def _select_covering_family(
         candidates = by_radio.get(radio)
         if not candidates:
             continue
-        best = max(candidates, key=lambda k: len(shared[k]))
+        best = min(candidates, key=lambda k: (-len(shared[k]), order[k]))
         if best not in chosen_keys:
             chosen_keys.add(best)
             chosen.append(shared[best])
@@ -115,22 +287,34 @@ def bootstrap_synchronization(
     window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US,
     auto_widen: bool = True,
     max_window_us: int = 16_000_000,
+    strict: bool = False,
 ) -> BootstrapResult:
-    """Compute bootstrap offsets ``T_i`` for every radio.
+    """Compute bootstrap offsets ``T_i`` for every radio (single-threaded).
 
     ``clock_groups`` lists radios that share one physical capture clock
     (the two radios of one monitor) — infrastructure metadata the real
     deployment has from its driver configuration.  When ``auto_widen`` is
     set and the graph partitions, the examination window doubles (up to
-    ``max_window_us``) before giving up, as the paper suggests.
+    ``max_window_us``) before giving up, as the paper suggests.  With
+    ``strict=True`` a still-partitioned graph raises
+    :class:`SyncPartitionError` (the Section 6 pod-reduction failure)
+    instead of returning a partial result.
+
+    This is the reference implementation the channel-sharded coordinator
+    (:class:`~repro.core.sync.sharded.ShardedBootstrap`) is held
+    bit-identical to; prefer the coordinator for large fleets — it makes
+    a single pass over each trace even when the window widens.
     """
     radios = [trace.radio_id for trace in traces]
     current_window = window_us
     while True:
-        shared, seen = _collect_reference_sets(traces, current_window)
-        family = _select_covering_family(shared, radios)
+        sets, order, seen = _collect_reference_sets(traces, current_window)
+        shared = _shared_sets(sets)
+        family = _select_covering_family(shared, radios, order)
         offsets, unreachable = _bfs_offsets(radios, family, clock_groups)
         if not unreachable or not auto_widen or current_window >= max_window_us:
+            if unreachable and strict:
+                raise SyncPartitionError(unreachable)
             return BootstrapResult(
                 offsets_us=offsets,
                 unreachable=unreachable,
@@ -147,9 +331,13 @@ def _bfs_offsets(
     clock_groups: Iterable[Sequence[int]],
 ) -> Tuple[Dict[int, float], List[int]]:
     # Edge list: radio -> [(other, delta)] with T_other = T_radio + delta.
+    # Members are anchored in trace order (the order radios appear in the
+    # input sequence) — the deterministic equivalent of the collection
+    # insertion order, valid for any shard merge order.
+    position = {radio: pos for pos, radio in enumerate(radios)}
     adjacency: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
     for members in family:
-        items = list(members.items())
+        items = sorted(members.items(), key=lambda kv: position[kv[0]])
         anchor_radio, anchor_ts = items[0]
         for radio, ts in items[1:]:
             delta = float(anchor_ts - ts)   # T_radio = T_anchor + y_anchor - y_radio

@@ -1,0 +1,284 @@
+"""Channel-sharded, ingest-overlapped bootstrap (Section 4.1 at scale).
+
+``bootstrap_synchronization`` is a single-threaded full-prepass: every
+widening round re-reads every trace's examination window from the start,
+and nothing else can run until it finishes.  Jigsaw's own design makes
+the prepass embarrassingly parallel — a frame on channel 1 is never heard
+by a radio parked on channel 11, so reference-set collection shards
+cleanly by channel, with cross-channel bridging happening only through
+shared capture clocks (``clock_groups``) in the final BFS.
+
+:class:`ShardedBootstrap` is the coordinator:
+
+* traces are grouped into per-channel shards, each collected by its own
+  :class:`~repro.core.sync.bootstrap._BootstrapShard` — serially or on a
+  ``concurrent.futures`` process pool (mirroring
+  :class:`~repro.core.unify.sharded.ShardedUnifier`'s serial/pool
+  design, and sharing its worker-count policy via
+  :func:`resolve_pool_workers`);
+* collection is **single-read**: each trace's records are consumed
+  incrementally, exactly once — the window cutoff is one bisect per
+  trace, and the auto-widen loop feeds only the records between the old
+  and the new limit instead of re-scanning from the start.  Traces
+  backed by a replay-aware reader
+  (:class:`~repro.jtrace.io.StreamingRadioTrace`) decode only the
+  prefix the window needs; the buffered records are later replayed into
+  unification without a second read of the file;
+* the bridge phase unions the shard payloads (order-independent by
+  construction — see :func:`~repro.core.sync.bootstrap.union_shard_payloads`)
+  and runs the covering-family selection and offset BFS globally, with
+  ``clock_groups`` providing the only cross-channel edges.
+
+Execution mode never changes the answer: serial and pool collection are
+bit-identical to :func:`~repro.core.sync.bootstrap.bootstrap_synchronization`
+(``tests/test_bootstrap_parity.py`` holds the property).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...jtrace.io import RadioTrace, StreamingRadioTrace
+from ...jtrace.records import TraceRecord
+from .bootstrap import (
+    BootstrapResult,
+    DEFAULT_BOOTSTRAP_WINDOW_US,
+    ShardPayload,
+    SyncPartitionError,
+    _BootstrapShard,
+    _bfs_offsets,
+    _select_covering_family,
+    _shared_sets,
+    union_shard_payloads,
+)
+
+
+def resolve_pool_workers(max_workers: Optional[int], n_shards: int) -> int:
+    """Worker count for a sharded stage; <= 1 means run serially.
+
+    ``None`` auto-sizes to the CPU count; ``0``/``1`` force serial;
+    ``n > 1`` caps the pool.  Never more workers than shards.  This is
+    the one policy both sharded stages (bootstrap here, unification in
+    :class:`~repro.core.unify.sharded.ShardedUnifier`) resolve through.
+    """
+    if n_shards <= 1:
+        return 1
+    if max_workers is None:
+        budget = os.cpu_count() or 1
+    else:
+        budget = max(1, max_workers)
+    return min(budget, n_shards)
+
+
+def _window_cutoff(
+    trace: RadioTrace, window_us: int, lo: int
+) -> Tuple[Sequence[TraceRecord], int]:
+    """Records of ``trace`` and the index one past its examination window.
+
+    One bisect on the (local-time-ordered) records instead of a
+    per-record compare; streaming traces decode just far enough to
+    answer, buffering what they read for later replay.
+    """
+    first = trace.first_timestamp_us
+    if first is None:
+        return (), 0
+    limit = first + window_us
+    if isinstance(trace, StreamingRadioTrace):
+        return trace.buffered_until(limit)
+    records = trace.records
+    if lo < len(records) and records[-1].timestamp_us <= limit:
+        return records, len(records)
+    return records, bisect_right(
+        records, limit, lo=lo, key=lambda r: r.timestamp_us
+    )
+
+
+def _collect_shard_prefixes(
+    prefixes: Sequence[Tuple[int, int, int, Sequence[TraceRecord]]],
+) -> ShardPayload:
+    """Pool worker entry point: collect one shard's (pickled) prefixes.
+
+    ``prefixes`` holds ``(trace position, radio id, index base, window
+    records)`` tuples — the base re-anchors the shipped slice at its
+    absolute record index, so the arrival order recorded per reference
+    set is identical to serial collection even across widening rounds,
+    and the payload unions with other shards' in any order.
+    """
+    shard = _BootstrapShard()
+    for trace_pos, radio_id, base, records in prefixes:
+        shard.feed_slice(
+            records, 0, len(records), trace_pos, radio_id, index_base=base
+        )
+    return shard.finish()
+
+
+class ShardedBootstrap:
+    """Channel-sharded front-end over the bootstrap prepass.
+
+    ``max_workers`` selects the execution mode exactly like
+    :class:`~repro.core.unify.sharded.ShardedUnifier`:
+
+    * ``None`` (default) — auto: a process pool when the machine has more
+      than one CPU *and* there is more than one channel shard, else
+      serial;
+    * ``0`` or ``1`` — always serial, in-process;
+    * ``n > 1`` — a process pool of at most ``n`` workers.
+
+    Serial mode is fully incremental (single read, widening feeds only
+    new records); pool mode ships each shard's window prefix to a worker
+    and re-ships the delta when the window widens.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US,
+        auto_widen: bool = True,
+        max_window_us: int = 16_000_000,
+    ) -> None:
+        if window_us <= 0:
+            raise ValueError("bootstrap window must be positive")
+        self.max_workers = max_workers
+        self.window_us = window_us
+        self.auto_widen = auto_widen
+        self.max_window_us = max_window_us
+
+    # --- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _shard_groups(traces: Sequence[RadioTrace]) -> List[List[int]]:
+        """Trace positions grouped by capture channel, ordered by channel.
+
+        Sharding is a parallelism structure, not a correctness one — the
+        union + global bridge produce identical output for *any* trace
+        partition — so grouping keys off the trace's home channel
+        (metadata, no record scan) and channel-hopping traces simply ride
+        in their home shard.
+        """
+        by_channel: Dict[int, List[int]] = {}
+        for pos, trace in enumerate(traces):
+            by_channel.setdefault(trace.channel, []).append(pos)
+        return [by_channel[channel] for channel in sorted(by_channel)]
+
+    def _feed_serial(
+        self,
+        traces: Sequence[RadioTrace],
+        groups: Sequence[Sequence[int]],
+        shards: Sequence[_BootstrapShard],
+        positions: List[int],
+        window_us: int,
+    ) -> None:
+        """Feed every trace's unconsumed window records into its shard."""
+        for group, shard in zip(groups, shards):
+            for pos in group:
+                trace = traces[pos]
+                lo = positions[pos]
+                records, hi = _window_cutoff(trace, window_us, lo)
+                if hi > lo:
+                    shard.feed_slice(records, lo, hi, pos, trace.radio_id)
+                    positions[pos] = hi
+
+    def _collect_pool(
+        self,
+        traces: Sequence[RadioTrace],
+        groups: Sequence[Sequence[int]],
+        positions: List[int],
+        window_us: int,
+        workers: int,
+    ) -> List[ShardPayload]:
+        """Ship each shard's new window records to a pool, in shard order.
+
+        Widening rounds ship only the delta since the previous window;
+        the returned payloads are per-round and accumulated by the
+        caller (arrival indices keep them mergeable in any order).
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        shard_prefixes: List[List[Tuple[int, int, int, List[TraceRecord]]]] = []
+        for group in groups:
+            prefixes: List[Tuple[int, int, int, List[TraceRecord]]] = []
+            for pos in group:
+                trace = traces[pos]
+                lo = positions[pos]
+                records, hi = _window_cutoff(trace, window_us, lo)
+                if hi > lo:
+                    prefixes.append(
+                        (pos, trace.radio_id, lo, list(records[lo:hi]))
+                    )
+                    positions[pos] = hi
+            shard_prefixes.append(prefixes)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_collect_shard_prefixes, prefixes)
+                for prefixes in shard_prefixes
+            ]
+            # Collect in shard order — not completion order — so payload
+            # accumulation is reproducible (the union is order-blind
+            # anyway; this keeps logs and debugging deterministic too).
+            return [future.result() for future in futures]
+
+    # --- public API --------------------------------------------------------
+
+    def bootstrap(
+        self,
+        traces: Sequence[RadioTrace],
+        clock_groups: Iterable[Sequence[int]] = (),
+        strict: bool = False,
+    ) -> BootstrapResult:
+        """Compute bootstrap offsets with sharded, single-read collection.
+
+        Bit-identical to
+        :func:`~repro.core.sync.bootstrap.bootstrap_synchronization` on
+        the same input.  ``strict=True`` raises
+        :class:`~repro.core.sync.bootstrap.SyncPartitionError` when the
+        reference graph stays partitioned after widening (the Section 6
+        pod-reduction failure mode).
+        """
+        radios = [trace.radio_id for trace in traces]
+        groups = self._shard_groups(traces)
+        workers = resolve_pool_workers(self.max_workers, len(groups))
+        clock_groups = [list(g) for g in clock_groups]
+        positions = [0] * len(traces)
+        window = self.window_us
+
+        serial_shards: List[_BootstrapShard] = []
+        pool_payloads: List[ShardPayload] = []
+        if workers <= 1:
+            serial_shards = [_BootstrapShard() for _ in groups]
+
+        while True:
+            if workers <= 1:
+                self._feed_serial(
+                    traces, groups, serial_shards, positions, window
+                )
+                payloads: List[ShardPayload] = [
+                    shard.finish() for shard in serial_shards
+                ]
+            else:
+                pool_payloads.extend(
+                    self._collect_pool(
+                        traces, groups, positions, window, workers
+                    )
+                )
+                payloads = pool_payloads
+            sets, order, seen = union_shard_payloads(payloads)
+            shared = _shared_sets(sets)
+            family = _select_covering_family(shared, radios, order)
+            offsets, unreachable = _bfs_offsets(radios, family, clock_groups)
+            if (
+                not unreachable
+                or not self.auto_widen
+                or window >= self.max_window_us
+            ):
+                if unreachable and strict:
+                    raise SyncPartitionError(unreachable)
+                return BootstrapResult(
+                    offsets_us=offsets,
+                    unreachable=unreachable,
+                    reference_sets_used=len(family),
+                    reference_frames_seen=seen,
+                    window_us=window,
+                )
+            window = min(window * 2, self.max_window_us)

@@ -47,10 +47,19 @@ class FlowKey:
 
 @dataclass
 class SegmentObservation:
-    """One TCP segment as seen on the air (one frame exchange)."""
+    """One TCP segment as seen on the air (one frame exchange).
+
+    ``exchange`` back-references the frame exchange that carried the
+    segment — and, through it, the data jframe and every capture
+    instance.  Transport inference reads (and upgrades) it; afterwards a
+    bounded-memory pipeline run severs the reference
+    (:meth:`TcpFlow.trim_exchange_refs`) so long-lived flow objects stop
+    retaining the data-subset jframe graph.  ``None`` therefore means
+    "trimmed", not "unknown".
+    """
 
     time_us: int
-    exchange: FrameExchange
+    exchange: Optional[FrameExchange]
     packet: IpPacket
     seg: TcpSegment
     from_a: bool            # direction within the canonical flow
@@ -98,6 +107,20 @@ class TcpFlow:
             return None
         ordered = sorted(self.rtt_samples_us)
         return ordered[len(ordered) // 2]
+
+    def trim_exchange_refs(self) -> None:
+        """Sever observation -> exchange back-references.
+
+        A flow outlives the streaming pipeline's per-layer objects, and
+        each observation's exchange pins its data jframe (and all capture
+        instances) in memory — the remaining O(data-subset) term of a
+        ``materialize=False`` run.  Transport inference has already
+        folded everything it needs from the exchanges into the flow
+        (delivery verdicts, loss events, RTT samples), so bounded-memory
+        runs call this once inference is done.
+        """
+        for obs in self.observations:
+            obs.exchange = None
 
 
 class FlowCollector:

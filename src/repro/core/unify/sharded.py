@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...jtrace.io import RadioTrace
 from ..sync.bootstrap import BootstrapResult
+from ..sync.sharded import resolve_pool_workers
 from ..sync.skew import ClockTrack
 from .jframe import JFrame
 from .unifier import (
@@ -102,9 +103,9 @@ class ShardedUnifier:
         return max(1, self.max_workers)
 
     def _worker_count(self, n_shards: int) -> int:
-        if n_shards <= 1:
-            return 1
-        return min(self._pool_budget(), n_shards)
+        # One policy for both sharded stages: bootstrap collection and
+        # unification resolve their serial/pool split identically.
+        return resolve_pool_workers(self.max_workers, n_shards)
 
     def _run_pool(
         self,

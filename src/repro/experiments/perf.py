@@ -4,7 +4,7 @@
 real-time and scale well as a function of the number of radios.  Thus, we
 prefer an algorithm that can merge traces in a single pass over the data."
 
-Three checks:
+Four checks:
 
 * :func:`run_merge_performance` unifies a building-scale trace through the
   sharded streaming engine and compares wall-clock merge time against the
@@ -13,24 +13,34 @@ Three checks:
   radio fleet — the paper's "scale well as a function of the number of
   radios" — producing the sweep the benchmark suite persists to
   ``BENCH_merge.json``;
+* :func:`run_bootstrap_performance` times the synchronization prepass:
+  the serial two-read path (decode everything, then scan the examination
+  window again) against channel-sharded collection with single-read
+  ingest (decode only the window prefix, feed it to the shards as it
+  streams, replay the buffer into the merge) — the "time before the
+  first jframe can be emitted" bottleneck;
 * :func:`run_memory_profile` measures (tracemalloc) peak heap of a full
   pipeline run with analyses registered as streaming passes, materialized
-  versus ``materialize=False`` — the bounded-memory win that lets the
-  analyses serve traces far larger than RAM.
+  versus ``materialize=False``, plus the retained-heap effect of severing
+  observation -> exchange back-references after transport inference.
 """
 
 from __future__ import annotations
 
 import gc
+import tempfile
 import time
 import tracemalloc
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..core.pipeline import JigsawPipeline
 from ..core.sync.bootstrap import bootstrap_synchronization
+from ..core.sync.sharded import ShardedBootstrap
 from ..core.unify.sharded import ShardedUnifier
 from ..core.unify.unifier import Unifier, partition_traces
+from ..jtrace.io import open_trace_streams, read_traces, write_traces
 from .common import ExperimentRun, get_building_run
 
 #: Radio-fleet fractions exercised by the scaling sweep.
@@ -165,11 +175,219 @@ def run_radio_scaling(
 
 
 @dataclass
+class BootstrapPerformance:
+    """Prepass timings: serial two-read versus sharded single-read.
+
+    The in-memory pair isolates the collection algorithm (same decoded
+    records, reference scan vs incremental sharded feed); the disk pair
+    measures time-to-offsets for a pipeline fed from trace files — the
+    latency before the first jframe can be emitted — and the end-to-end
+    (bootstrap + merge) totals on the same input.
+    """
+
+    records: int
+    n_radios: int
+    n_shards: int
+    window_us: int
+    serial_collect_seconds: float        # in-memory reference prepass
+    sharded_collect_seconds: float       # in-memory sharded single-read feed
+    two_read_prepass_seconds: float      # disk: decode all, then scan window
+    two_read_total_seconds: float        # ... plus the merge
+    single_read_prepass_seconds: float   # disk: decode + feed the prefix only
+    single_read_total_seconds: float     # ... merge replays the buffered read
+    offsets_identical: bool = True
+
+    @property
+    def collect_speedup(self) -> float:
+        """In-memory: >1 means sharded collection beats the serial scan."""
+        if self.sharded_collect_seconds == 0:
+            return float("inf")
+        return self.serial_collect_seconds / self.sharded_collect_seconds
+
+    @property
+    def prepass_speedup(self) -> float:
+        """Disk: >1 means single-read ingest reaches offsets sooner."""
+        if self.single_read_prepass_seconds == 0:
+            return float("inf")
+        return self.two_read_prepass_seconds / self.single_read_prepass_seconds
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        """Disk: >1 means the fused pipeline finishes sooner overall."""
+        if self.single_read_total_seconds == 0:
+            return float("inf")
+        return self.two_read_total_seconds / self.single_read_total_seconds
+
+    def format_table(self) -> str:
+        return "\n".join(
+            [
+                f"records:                  {self.records:,} "
+                f"({self.n_radios} radios, {self.n_shards} channel shards)",
+                f"bootstrap window:         {self.window_us / 1e6:.1f} s",
+                "in-memory collection:     "
+                f"serial {self.serial_collect_seconds * 1e3:.0f} ms, "
+                f"sharded {self.sharded_collect_seconds * 1e3:.0f} ms "
+                f"({self.collect_speedup:.2f}x)",
+                "disk prepass (to offsets):"
+                f" two-read {self.two_read_prepass_seconds:.2f} s, "
+                f"single-read {self.single_read_prepass_seconds:.2f} s "
+                f"({self.prepass_speedup:.2f}x)",
+                "disk end-to-end:          "
+                f"two-read {self.two_read_total_seconds:.2f} s, "
+                f"single-read {self.single_read_total_seconds:.2f} s "
+                f"({self.end_to_end_speedup:.2f}x)",
+                f"offsets bit-identical:    {self.offsets_identical}",
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "n_radios": self.n_radios,
+            "n_shards": self.n_shards,
+            "window_us": self.window_us,
+            "serial_collect_seconds": self.serial_collect_seconds,
+            "sharded_collect_seconds": self.sharded_collect_seconds,
+            "collect_speedup": self.collect_speedup,
+            "two_read_prepass_seconds": self.two_read_prepass_seconds,
+            "single_read_prepass_seconds": self.single_read_prepass_seconds,
+            "prepass_speedup": self.prepass_speedup,
+            "two_read_total_seconds": self.two_read_total_seconds,
+            "single_read_total_seconds": self.single_read_total_seconds,
+            "end_to_end_speedup": self.end_to_end_speedup,
+            "offsets_identical": self.offsets_identical,
+        }
+
+
+def run_bootstrap_performance(
+    run: ExperimentRun = None,
+    max_workers: Optional[int] = None,
+    trace_dir: Optional[Path] = None,
+) -> BootstrapPerformance:
+    """Time the bootstrap prepass both ways on the building trace.
+
+    The two-read path is what the pipeline did before sharded ingest:
+    materialize every record (``read_traces``), then scan each trace's
+    examination window a second time for reference sets.  The
+    single-read path opens replay-aware streams, decodes only the
+    window prefix to compute offsets, and lets the merge drain the rest
+    of the same read.  Offsets are asserted bit-identical — the parity
+    the test suite holds is also checked on the benchmark input.
+
+    ``trace_dir`` reuses an existing trace directory (and leaves it in
+    place); by default traces are written to a temporary directory,
+    outside the timed region.
+    """
+    run = run or get_building_run()
+    traces = run.artifacts.radio_traces
+    clock_groups = run.artifacts.clock_groups()
+    coordinator = ShardedBootstrap(max_workers=max_workers)
+    # Bootstrap shards by the traces' home channels (metadata only).
+    n_shards = len({trace.channel for trace in traces})
+
+    gc.collect()
+    started = time.perf_counter()
+    serial_result = bootstrap_synchronization(traces, clock_groups=clock_groups)
+    serial_collect = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded_result = coordinator.bootstrap(traces, clock_groups=clock_groups)
+    sharded_collect = time.perf_counter() - started
+    identical = serial_result.offsets_us == sharded_result.offsets_us
+
+    owned = None
+    if trace_dir is None:
+        owned = tempfile.TemporaryDirectory(prefix="jigsaw-bootstrap-bench-")
+        trace_dir = Path(owned.name)
+        write_traces(traces, trace_dir)
+    try:
+        unifier = ShardedUnifier(Unifier(), max_workers=max_workers)
+
+        def _two_read() -> tuple:
+            """Pre-fusion file path: materialize, order-check, prepass
+            over the window again, then merge — the trace is traversed
+            twice before the first jframe."""
+            started = time.perf_counter()
+            decoded = [
+                t.sorted_by_local_time() for t in read_traces(trace_dir)
+            ]
+            bootstrap = bootstrap_synchronization(
+                decoded, clock_groups=clock_groups
+            )
+            prepass = time.perf_counter() - started
+            unifier.unify(decoded, bootstrap)
+            return prepass, time.perf_counter() - started, bootstrap
+
+        def _single_read() -> tuple:
+            """Fused path: decode the window prefix straight into the
+            shards, replay the buffer into the merge — one read, with
+            ordering validated during the drain."""
+            started = time.perf_counter()
+            streams = open_trace_streams(trace_dir)
+            bootstrap = ShardedBootstrap(max_workers=max_workers).bootstrap(
+                streams, clock_groups=clock_groups
+            )
+            prepass = time.perf_counter() - started
+            unifier.unify(streams, bootstrap)
+            return prepass, time.perf_counter() - started, bootstrap
+
+        # Park the caller's heap (the cached scenario run) in the
+        # permanent generation while timing, exactly as ``_measure``
+        # does — collector re-scans of unrelated tens-of-millions of
+        # objects otherwise swing the disk timings several-fold.
+        results = {}
+        for label, path in (("two", _two_read), ("single", _single_read)):
+            gc.collect()
+            gc.freeze()
+            try:
+                results[label] = path()
+            finally:
+                gc.unfreeze()
+        two_read_prepass, two_read_total, two_read_bootstrap = results["two"]
+        (
+            single_read_prepass,
+            single_read_total,
+            single_read_bootstrap,
+        ) = results["single"]
+
+        identical = identical and (
+            two_read_bootstrap.offsets_us == single_read_bootstrap.offsets_us
+        )
+    finally:
+        if owned is not None:
+            owned.cleanup()
+
+    return BootstrapPerformance(
+        records=sum(len(t) for t in traces),
+        n_radios=len(traces),
+        n_shards=n_shards,
+        window_us=serial_result.window_us,
+        serial_collect_seconds=serial_collect,
+        sharded_collect_seconds=sharded_collect,
+        two_read_prepass_seconds=two_read_prepass,
+        two_read_total_seconds=two_read_total,
+        single_read_prepass_seconds=single_read_prepass,
+        single_read_total_seconds=single_read_total,
+        offsets_identical=identical,
+    )
+
+
+@dataclass
 class MemoryProfile:
-    """Peak pipeline heap, materialized vs streaming-pass execution."""
+    """Peak pipeline heap, materialized vs streaming-pass execution.
+
+    The retained pair measures what a caller still holds after a
+    ``materialize=False`` run returns: with observation -> exchange
+    back-references intact, the flows pin every data jframe; after
+    :meth:`~repro.core.transport.flows.TcpFlow.trim_exchange_refs` (the
+    pipeline's default for streaming runs) that O(data-subset) term is
+    gone.
+    """
 
     materialized_peak_bytes: int
     streaming_peak_bytes: int
+    untrimmed_retained_bytes: int
+    trimmed_retained_bytes: int
     records: int
     jframes: int
 
@@ -179,6 +397,13 @@ class MemoryProfile:
         if self.streaming_peak_bytes == 0:
             return float("inf")
         return self.materialized_peak_bytes / self.streaming_peak_bytes
+
+    @property
+    def trim_reduction_factor(self) -> float:
+        """>1 means trimming exchange refs shrank the retained heap."""
+        if self.trimmed_retained_bytes == 0:
+            return float("inf")
+        return self.untrimmed_retained_bytes / self.trimmed_retained_bytes
 
     def format_table(self) -> str:
         return "\n".join(
@@ -191,6 +416,11 @@ class MemoryProfile:
                 f"{self.streaming_peak_bytes / 1e6:.1f} MB "
                 "(materialize=False, passes inline)",
                 f"reduction factor:       {self.reduction_factor:.2f}x",
+                "retained after run:     "
+                f"{self.untrimmed_retained_bytes / 1e6:.1f} MB with "
+                "exchange refs, "
+                f"{self.trimmed_retained_bytes / 1e6:.1f} MB trimmed "
+                f"({self.trim_reduction_factor:.2f}x)",
             ]
         )
 
@@ -198,9 +428,12 @@ class MemoryProfile:
         return {
             "materialized_peak_bytes": self.materialized_peak_bytes,
             "streaming_peak_bytes": self.streaming_peak_bytes,
+            "untrimmed_retained_bytes": self.untrimmed_retained_bytes,
+            "trimmed_retained_bytes": self.trimmed_retained_bytes,
             "records": self.records,
             "jframes": self.jframes,
             "reduction_factor": self.reduction_factor,
+            "trim_reduction_factor": self.trim_reduction_factor,
         }
 
 
@@ -245,22 +478,35 @@ def run_memory_profile(run: ExperimentRun = None) -> MemoryProfile:
         gc.collect()
         tracemalloc.start()
         try:
+            # Trimming is deferred so the streaming run can weigh the
+            # exchange back-references' retained heap before severing.
             report = pipeline.run(
                 traces,
                 bootstrap=bootstrap,
                 passes=_representative_passes(run.duration_us),
                 materialize=materialize,
+                trim_exchange_refs=False,
             )
             _, peak = tracemalloc.get_traced_memory()
+            untrimmed = trimmed = 0
+            if not materialize:
+                gc.collect()
+                untrimmed, _ = tracemalloc.get_traced_memory()
+                for flow in report.flows:
+                    flow.trim_exchange_refs()
+                gc.collect()
+                trimmed, _ = tracemalloc.get_traced_memory()
         finally:
             tracemalloc.stop()
-        return peak, report.unification.stats
+        return peak, untrimmed, trimmed, report.unification.stats
 
-    materialized_peak, stats = _peak(True)
-    streaming_peak, _ = _peak(False)
+    materialized_peak, _, _, stats = _peak(True)
+    streaming_peak, untrimmed, trimmed, _ = _peak(False)
     return MemoryProfile(
         materialized_peak_bytes=materialized_peak,
         streaming_peak_bytes=streaming_peak,
+        untrimmed_retained_bytes=untrimmed,
+        trimmed_retained_bytes=trimmed,
         records=stats.records_in,
         jframes=stats.jframes,
     )
@@ -278,6 +524,9 @@ def main() -> None:
             f"{point.records_per_second:>10,.0f} rec/s  "
             f"({point.realtime_factor:.2f}x real time)"
         )
+    print()
+    print("=== Bootstrap prepass: two-read vs single-read sharded ===")
+    print(run_bootstrap_performance().format_table())
     print()
     print("=== Peak memory: materialized vs streaming passes ===")
     print(run_memory_profile().format_table())

@@ -1,10 +1,24 @@
 """Trace format substrate (the jigdump analogue)."""
 
-from .io import RadioTrace, read_trace, read_traces, write_trace, write_traces
+from .io import (
+    RadioTrace,
+    StreamingRadioTrace,
+    iter_trace_records,
+    open_trace_stream,
+    open_trace_streams,
+    read_trace,
+    read_traces,
+    write_trace,
+    write_traces,
+)
 from .records import RecordKind, TraceRecord, record_from_bytes, record_to_bytes
 
 __all__ = [
     "RadioTrace",
+    "StreamingRadioTrace",
+    "iter_trace_records",
+    "open_trace_stream",
+    "open_trace_streams",
     "read_trace",
     "read_traces",
     "write_trace",

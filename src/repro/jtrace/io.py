@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import gzip
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
-from itertools import pairwise
+from itertools import islice, pairwise
 
 from .records import (
     TraceRecord,
@@ -31,6 +32,11 @@ from .records import (
 
 #: Chunk size for streaming decompression (1 MiB of decompressed bytes).
 _READ_CHUNK_BYTES = 1 << 20
+
+
+def _meta_path(data_path: Path) -> Path:
+    """The JSON index sidecar belonging to a trace data file."""
+    return data_path.with_name(data_path.name.replace(".jtr.gz", ".meta.json"))
 
 
 @dataclass
@@ -75,6 +81,176 @@ class RadioTrace:
         return RadioTrace(self.radio_id, self.channel, ordered)
 
 
+class StreamingRadioTrace:
+    """A radio trace that decodes its record stream lazily — and only once.
+
+    Duck-typed against :class:`RadioTrace` (``radio_id``, ``channel``,
+    ``records``, iteration, ``first_timestamp_us``,
+    ``sorted_by_local_time``), but the records come from a one-shot
+    source iterator (typically :func:`iter_trace_records` streaming off a
+    compressed file) through an internal tee: every record pulled is
+    buffered, so early consumers — the bootstrap prepass examining the
+    first second — read just the prefix they need, and later consumers
+    replay that buffer before continuing the same underlying read.  The
+    file is decoded exactly once no matter how many phases consume it.
+
+    * :meth:`buffered_until` — pull (and buffer) records up to a
+      local-time limit; the bootstrap window feed, including auto-widen
+      rounds, costs only the prefix decode.
+    * ``.records`` — drain the remainder and return the full list; from
+      then on the trace behaves exactly like a materialized
+      :class:`RadioTrace`.
+
+    Local-time ordering is validated during the single read (replacing
+    the separate full-trace scan ``sorted_by_local_time`` performs on
+    materialized traces).  Disorder encountered *before* any prefix has
+    been handed out downgrades to a full drain + sort (the same silent
+    semantics ``sorted_by_local_time`` gives materialized traces).
+    Disorder discovered *after* a consumer has gated on a prefix —
+    a record sorting into a window the bootstrap already examined —
+    raises ``ValueError`` instead: the single-read prepass cannot be
+    retroactively corrected, and a loud failure beats silently diverging
+    from the materialized path.  Real capture files are written in
+    local-time order; unordered inputs should go through
+    :func:`read_trace` / :meth:`RadioTrace.sorted_by_local_time`.
+    """
+
+    def __init__(
+        self,
+        radio_id: int,
+        channel: int,
+        source: Iterable[TraceRecord],
+    ) -> None:
+        self.radio_id = radio_id
+        self.channel = channel
+        self._source: Optional[Iterator[TraceRecord]] = iter(source)
+        self._buffer: List[TraceRecord] = []
+        self._last_ts: Optional[int] = None
+        self._ordered = True
+        self._prefix_consumed = False
+
+    def _pull(self) -> Optional[TraceRecord]:
+        if self._source is None:
+            return None
+        record = next(self._source, None)
+        if record is None:
+            self._source = None
+            return None
+        ts = record.timestamp_us
+        if self._last_ts is not None and ts < self._last_ts:
+            self._ordered = False
+        self._last_ts = ts
+        self._buffer.append(record)
+        return record
+
+    def buffered_until(self, limit_us: int) -> Tuple[List[TraceRecord], int]:
+        """Records with ``timestamp_us <= limit_us``, decoding on demand.
+
+        Returns ``(buffer, hi)`` where ``buffer[:hi]`` is the prefix
+        within the limit; at most one record beyond the limit is decoded
+        (the cursor for the next call or the eventual drain).
+        """
+        if self._source is None or not self._ordered:
+            records = self.records
+            hi = bisect_right(records, limit_us, key=lambda r: r.timestamp_us)
+            self._prefix_consumed = True
+            return records, hi
+        buffer = self._buffer
+        while not buffer or buffer[-1].timestamp_us <= limit_us:
+            if self._pull() is None:
+                if not self._ordered:
+                    return self.buffered_until(limit_us)
+                self._prefix_consumed = True
+                return buffer, len(buffer)
+        if not self._ordered:
+            return self.buffered_until(limit_us)
+        self._prefix_consumed = True
+        return buffer, len(buffer) - 1
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Drain the source (first access only) and return every record."""
+        source = self._source
+        if source is not None:
+            # Bulk drain at C speed, then validate ordering from the last
+            # prefix record onward (the prefix was validated as it was
+            # pulled) — the same one-scan cost a materialized trace pays
+            # in ``sorted_by_local_time``.
+            buffer = self._buffer
+            validate_from = max(len(buffer) - 1, 0)
+            buffer.extend(source)
+            self._source = None
+            if buffer:
+                self._last_ts = buffer[-1].timestamp_us
+            if self._ordered and any(
+                a.timestamp_us > b.timestamp_us
+                for a, b in pairwise(islice(buffer, validate_from, None))
+            ):
+                self._ordered = False
+        if not self._ordered:
+            if self._prefix_consumed:
+                # A window prefix was already handed to the bootstrap,
+                # gated on the ordering this record violates; sorting now
+                # would silently shift records into or out of windows the
+                # prepass already examined.
+                raise ValueError(
+                    f"trace for radio {self.radio_id} is not in "
+                    "local-time order and its window prefix was already "
+                    "consumed by the single-read bootstrap; materialize "
+                    "it with read_trace()/sorted_by_local_time() instead"
+                )
+            self._buffer.sort(key=lambda r: r.timestamp_us)
+            self._ordered = True
+        return self._buffer
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def first_timestamp_us(self) -> Optional[int]:
+        buffer = self._buffer
+        if not buffer and self._pull() is None:
+            return None
+        return self._buffer[0].timestamp_us if self._buffer else None
+
+    @property
+    def last_timestamp_us(self) -> Optional[int]:
+        records = self.records
+        return records[-1].timestamp_us if records else None
+
+    def sorted_by_local_time(self) -> "StreamingRadioTrace":
+        """Self, with ordering guaranteed by the drain-time validation."""
+        self.records
+        return self
+
+
+def open_trace_stream(data_path: Path) -> StreamingRadioTrace:
+    """Open one radio's trace for lazy, single-read consumption.
+
+    Identity (radio id, channel) comes from the metadata sidecar; records
+    decode on demand through the replay tee, so a pipeline run reads the
+    compressed file exactly once — the bootstrap prepass pulls only its
+    examination window before unification picks up the buffer.
+    """
+    data_path = Path(data_path)
+    meta = json.loads(_meta_path(data_path).read_text())
+    return StreamingRadioTrace(
+        meta["radio_id"], meta["channel"], iter_trace_records(data_path)
+    )
+
+
+def open_trace_streams(directory: Path) -> List[StreamingRadioTrace]:
+    """Lazily open every trace in a directory (sorted by radio id)."""
+    directory = Path(directory)
+    return [
+        open_trace_stream(path)
+        for path in sorted(directory.glob("radio_*.jtr.gz"))
+    ]
+
+
 def write_trace(trace: RadioTrace, directory: Path) -> Path:
     """Write one radio's trace (gzip data + JSON metadata sidecar)."""
     directory = Path(directory)
@@ -90,8 +266,7 @@ def write_trace(trace: RadioTrace, directory: Path) -> Path:
         "first_timestamp_us": trace.first_timestamp_us,
         "last_timestamp_us": trace.last_timestamp_us,
     }
-    meta_path = directory / f"radio_{trace.radio_id:04d}.meta.json"
-    meta_path.write_text(json.dumps(meta, indent=1))
+    _meta_path(data_path).write_text(json.dumps(meta, indent=1))
     return data_path
 
 
@@ -130,10 +305,7 @@ def iter_trace_records(
 def read_trace(data_path: Path) -> RadioTrace:
     """Read one radio's trace back from disk."""
     data_path = Path(data_path)
-    meta_path = data_path.with_name(
-        data_path.name.replace(".jtr.gz", ".meta.json")
-    )
-    meta = json.loads(meta_path.read_text())
+    meta = json.loads(_meta_path(data_path).read_text())
     records = list(iter_trace_records(data_path))
     if len(records) != meta["records"]:
         raise ValueError(

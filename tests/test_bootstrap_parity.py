@@ -1,0 +1,400 @@
+"""Parity suite: channel-sharded bootstrap == single-threaded bootstrap.
+
+The sharded coordinator (serial and process-pool modes, incremental
+single-read ingest, auto-widen over buffered records) must produce
+offsets *bit-identical* to ``bootstrap_synchronization`` — including the
+auto-widen partition path and the strict ``SyncPartitionError`` failure
+mode the paper hits on pod reduction (Section 6) — and the covering
+family must not depend on the order reference sets were collected or
+merged.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sync.bootstrap import (
+    SyncPartitionError,
+    _select_covering_family,
+    bootstrap_synchronization,
+    union_shard_payloads,
+    _BootstrapShard,
+)
+from repro.core.sync.sharded import ShardedBootstrap, resolve_pool_workers
+from repro.dot11.address import MacAddress
+from repro.dot11.frame import make_data
+from repro.dot11.serialize import frame_to_bytes
+from repro.jtrace.io import RadioTrace, StreamingRadioTrace
+from repro.jtrace.records import RecordKind, TraceRecord
+
+SRC = MacAddress.parse("00:0c:0c:00:00:02")
+DST = MacAddress.parse("00:0a:0a:00:00:02")
+
+
+def record_for(frame, radio_id, ts, channel=1):
+    raw = frame_to_bytes(frame)
+    return TraceRecord(
+        radio_id=radio_id,
+        timestamp_us=ts,
+        kind=RecordKind.VALID,
+        channel=channel,
+        rate_mbps=11.0,
+        rssi_dbm=-60.0,
+        frame_len=len(raw),
+        fcs=int.from_bytes(raw[-4:], "little"),
+        snap=raw[:200],
+        duration_us=100,
+    )
+
+
+def data_frame(seq, body=b"payload"):
+    return make_data(SRC, DST, DST, seq=seq, body=body)
+
+
+def result_fingerprint(result):
+    return (
+        result.offsets_us,
+        result.unreachable,
+        result.reference_sets_used,
+        result.reference_frames_seen,
+        result.window_us,
+    )
+
+
+def assert_parity(traces, clock_groups=(), **kwargs):
+    """Serial reference, sharded-serial and sharded-pool must agree."""
+    serial = bootstrap_synchronization(
+        traces, clock_groups=clock_groups, **kwargs
+    )
+    window_kwargs = {
+        k: v
+        for k, v in kwargs.items()
+        if k in ("window_us", "auto_widen", "max_window_us")
+    }
+    sharded = ShardedBootstrap(max_workers=0, **window_kwargs).bootstrap(
+        traces, clock_groups=clock_groups
+    )
+    pooled = ShardedBootstrap(max_workers=2, **window_kwargs).bootstrap(
+        traces, clock_groups=clock_groups
+    )
+    assert result_fingerprint(sharded) == result_fingerprint(serial)
+    assert result_fingerprint(pooled) == result_fingerprint(serial)
+    return serial
+
+
+def random_multichannel_traces(seed, n_radios=8, n_frames=40, channels=(1, 6, 11)):
+    """Radios spread over channels, hearing per-channel frame subsets.
+
+    Every channel's radios share frames (dense overlap); a designated
+    bridge monitor contributes one radio per adjacent channel pair via
+    clock groups, mirroring the deployment's shared capture clocks.
+    """
+    rng = random.Random(seed)
+    traces = []
+    for radio_id in range(n_radios):
+        channel = channels[radio_id % len(channels)]
+        offset = rng.randint(-40_000, 40_000)
+        records = []
+        for i in range(n_frames):
+            # Channel-distinct content: seq namespaced by channel.
+            frame = data_frame(seq=(channel * 512 + i) % 4096, body=bytes([channel]) * 8)
+            true_time = 1_000 + i * 17_000 + (channel * 3)
+            if rng.random() < 0.75:  # not every radio hears every frame
+                records.append(
+                    record_for(frame, radio_id, true_time + offset, channel)
+                )
+        records.sort(key=lambda r: r.timestamp_us)
+        traces.append(RadioTrace(radio_id, channel, records))
+    clock_groups = [
+        [r for r in range(n_radios) if r % len(channels) in (0, 1)][:2],
+        [r for r in range(n_radios) if r % len(channels) in (1, 2)][:2],
+    ]
+    clock_groups = [g for g in clock_groups if len(g) >= 2]
+    return traces, clock_groups
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_multichannel_property(self, seed):
+        traces, clock_groups = random_multichannel_traces(seed)
+        result = assert_parity(traces, clock_groups=clock_groups)
+        assert result.offsets_us  # something synchronized
+
+    def test_building_scenario(self):
+        from repro.sim import ScenarioConfig, run_scenario
+
+        artifacts = run_scenario(ScenarioConfig.small(seed=11))
+        assert_parity(
+            artifacts.radio_traces, clock_groups=artifacts.clock_groups()
+        )
+
+    def test_mislabeled_record_attributed_to_owning_trace(self):
+        """Reference sets key members by the *trace's* radio — the same
+        attribution the merge engine uses — so a record whose radio_id
+        field is mislabeled neither crashes the BFS nor smuggles a
+        foreign radio into the offset graph."""
+        frame = data_frame(seq=6)
+        t0 = RadioTrace(0, 1, [record_for(frame, 9999, 1_000)])
+        t1 = RadioTrace(1, 1, [record_for(frame, 1, 1_050)])
+        result = assert_parity([t0, t1])
+        assert set(result.offsets_us) == {0, 1}
+
+    def test_empty_and_single(self):
+        assert_parity([])
+        assert_parity([RadioTrace(0, 1, [])])
+        frame = data_frame(seq=3)
+        assert_parity([RadioTrace(0, 1, [record_for(frame, 0, 100)])])
+
+    def test_auto_widen_parity(self):
+        """Late references force widening; incremental feed must match
+        the reference implementation's from-scratch re-collection."""
+        early = data_frame(seq=1)
+        late = data_frame(seq=2)
+        later = data_frame(seq=3)
+        t0 = RadioTrace(0, 1, [
+            record_for(early, 0, 0),
+            record_for(late, 0, 3_000_000),
+            record_for(later, 0, 6_500_000),
+        ])
+        t1 = RadioTrace(1, 1, [record_for(late, 1, 3_000_400)])
+        t2 = RadioTrace(2, 1, [record_for(later, 2, 6_500_900)])
+        result = assert_parity([t0, t1, t2])
+        assert result.fully_synchronized
+        assert result.window_us > 1_000_000
+
+    def test_auto_widen_arrival_order_parity(self):
+        """A widening round can sight a key at an earlier (trace, record)
+        coordinate than the round that created it; the incremental shard
+        must settle on the same globally-earliest arrival order — and
+        therefore the same covering-family tie-break — as the reference
+        implementation's from-scratch re-collection."""
+        frame_a = data_frame(seq=1)
+        frame_x = data_frame(seq=2)
+        frame_y = data_frame(seq=3)
+        # Round 1 (1 s window): trace0 contributes only A; trace1 creates
+        # the X and Y sets (singletons).  Round 2 (2 s): trace0's X and Y
+        # sightings arrive as duplicates from an *earlier* trace position.
+        # X and Y then tie at size 2 — the tie-break must pick the same
+        # set both ways.
+        t0 = RadioTrace(0, 1, [
+            record_for(frame_a, 0, 100),
+            record_for(frame_x, 0, 2_000_000),
+            record_for(frame_y, 0, 2_000_050),
+        ])
+        t1 = RadioTrace(1, 1, [
+            record_for(frame_y, 1, 500),
+            record_for(frame_x, 1, 700),
+        ])
+        result = assert_parity([t0, t1])
+        assert result.fully_synchronized
+        assert result.window_us > 1_000_000
+
+    def test_auto_widen_partition_parity(self):
+        """A partition that widening cannot heal must report identically."""
+        island_a = [
+            RadioTrace(0, 1, [record_for(data_frame(seq=1), 0, 1_000)]),
+            RadioTrace(1, 1, [record_for(data_frame(seq=1), 1, 1_050)]),
+        ]
+        island_b = [
+            RadioTrace(2, 6, [record_for(data_frame(seq=2), 2, 1_000, 6)]),
+            RadioTrace(3, 6, [record_for(data_frame(seq=2), 3, 1_070, 6)]),
+        ]
+        result = assert_parity(island_a + island_b)
+        assert set(result.unreachable) == {2, 3}
+
+    def test_clock_group_bridge_parity(self):
+        """Cross-channel bridging happens only in the global BFS phase."""
+        island_a = [
+            RadioTrace(0, 1, [record_for(data_frame(seq=1), 0, 1_000)]),
+            RadioTrace(1, 1, [record_for(data_frame(seq=1), 1, 1_050)]),
+        ]
+        island_b = [
+            RadioTrace(2, 6, [record_for(data_frame(seq=2), 2, 1_050, 6)]),
+            RadioTrace(3, 6, [record_for(data_frame(seq=2), 3, 1_070, 6)]),
+        ]
+        result = assert_parity(island_a + island_b, clock_groups=[(1, 2)])
+        assert result.fully_synchronized
+        assert result.offsets_us[2] == pytest.approx(result.offsets_us[1])
+
+
+class TestStrictPartition:
+    def _islands(self):
+        return [
+            RadioTrace(0, 1, [record_for(data_frame(seq=1), 0, 1_000)]),
+            RadioTrace(1, 1, [record_for(data_frame(seq=1), 1, 1_050)]),
+            RadioTrace(2, 6, [record_for(data_frame(seq=2), 2, 1_000, 6)]),
+            RadioTrace(3, 6, [record_for(data_frame(seq=2), 3, 1_070, 6)]),
+        ]
+
+    def test_serial_strict_raises(self):
+        with pytest.raises(SyncPartitionError) as err:
+            bootstrap_synchronization(self._islands(), strict=True)
+        assert set(err.value.unreachable) == {2, 3}
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_sharded_strict_raises(self, workers):
+        with pytest.raises(SyncPartitionError) as err:
+            ShardedBootstrap(max_workers=workers).bootstrap(
+                self._islands(), strict=True
+            )
+        assert set(err.value.unreachable) == {2, 3}
+
+    def test_non_strict_reports(self):
+        result = ShardedBootstrap(max_workers=0).bootstrap(self._islands())
+        assert set(result.unreachable) == {2, 3}
+
+
+class TestCoveringFamilyDeterminism:
+    def test_tie_break_ignores_collection_order(self):
+        """Equal-size reference sets must resolve by arrival order, not
+        by the order the dict happened to be built in."""
+        key_a = (60, 1, b"a" * 24)
+        key_b = (60, 2, b"b" * 24)
+        members_a = {0: 100, 1: 160}
+        members_b = {0: 105, 1: 140}
+        order = {key_a: (0, 3), key_b: (0, 7)}  # a arrived first
+        forward = _select_covering_family(
+            {key_a: members_a, key_b: members_b}, [0, 1], order
+        )
+        backward = _select_covering_family(
+            {key_b: members_b, key_a: members_a}, [0, 1], order
+        )
+        assert forward == backward == [members_a]
+
+    def test_union_is_merge_order_independent(self):
+        shard_x = _BootstrapShard()
+        shard_y = _BootstrapShard()
+        frame = data_frame(seq=9)
+        shard_x.feed(record_for(frame, 0, 50), 0, trace_pos=0, record_idx=0)
+        shard_y.feed(
+            record_for(frame, 5, 75, channel=6), 5, trace_pos=5, record_idx=2
+        )
+        ab = union_shard_payloads([shard_x.finish(), shard_y.finish()])
+        ba = union_shard_payloads([shard_y.finish(), shard_x.finish()])
+        assert ab[0] == ba[0]   # same member sets
+        assert ab[1] == ba[1]   # same (earliest) arrival order
+        assert ab[2] == ba[2]   # same seen count
+        # Shard accumulators were not polluted by the union.
+        assert list(shard_x.finish()[0].values()) == [{0: 50}]
+
+
+class TestSingleReadIngest:
+    def test_streaming_traces_prefix_only_for_bootstrap(self, tmp_path):
+        """Bootstrap over streaming traces must decode only the window
+        prefix (plus one record of lookahead per trace)."""
+        from repro.jtrace.io import open_trace_streams, write_traces
+
+        frames = {i: data_frame(seq=i) for i in range(1, 30)}
+        traces = []
+        for radio_id, offset in ((0, 0), (1, 2_000)):
+            records = [
+                record_for(frame, radio_id, 200_000 * i + offset)
+                for i, frame in sorted(frames.items())
+            ]
+            traces.append(RadioTrace(radio_id, 1, records))
+        write_traces(traces, tmp_path)
+        streams = open_trace_streams(tmp_path)
+        reference = bootstrap_synchronization(traces)
+        result = ShardedBootstrap(max_workers=0).bootstrap(streams)
+        assert result_fingerprint(result) == result_fingerprint(reference)
+        for stream in streams:
+            # 1 s window over 200 ms spacing: ~6 records + 1 lookahead,
+            # far fewer than the 29 in the file.
+            assert len(stream._buffer) < 10
+        # Unification later drains the remainder of the same read.
+        assert len(streams[0].records) == 29
+
+    def test_streaming_pipeline_matches_memory_pipeline(self, tmp_path):
+        from repro.core.pipeline import JigsawPipeline
+        from repro.jtrace.io import open_trace_streams, write_traces
+        from repro.sim import ScenarioConfig, run_scenario
+
+        artifacts = run_scenario(ScenarioConfig.small(seed=13))
+        write_traces(artifacts.radio_traces, tmp_path)
+        groups = artifacts.clock_groups()
+        mem = JigsawPipeline().run(
+            artifacts.radio_traces, clock_groups=groups
+        )
+        streamed = JigsawPipeline().run(
+            open_trace_streams(tmp_path), clock_groups=groups
+        )
+        assert streamed.bootstrap.offsets_us == mem.bootstrap.offsets_us
+        assert streamed.unification.stats == mem.unification.stats
+        assert [
+            (j.timestamp_us, j.channel, j.fcs, j.n_instances)
+            for j in streamed.jframes
+        ] == [
+            (j.timestamp_us, j.channel, j.fcs, j.n_instances)
+            for j in mem.jframes
+        ]
+
+    def test_unsorted_stream_downgrades_to_sorted_drain(self):
+        """Disorder detected during the prefix read falls back to a full
+        drain + sort, so the window gate stays correct."""
+        frame = data_frame(seq=4)
+        records = [
+            record_for(frame, 0, ts) for ts in (500, 100, 900, 300)
+        ]
+        stream = StreamingRadioTrace(0, 1, iter(records))
+        buffered, hi = stream.buffered_until(600)
+        assert [r.timestamp_us for r in buffered[:hi]] == [100, 300, 500]
+        assert [r.timestamp_us for r in stream.records] == [100, 300, 500, 900]
+
+    def test_disorder_after_prefix_consumption_raises(self):
+        """A record that sorts into a window the bootstrap already
+        examined cannot be silently fixed — it must raise, both when a
+        later widening round trips over it and at drain time."""
+        frame = data_frame(seq=5)
+        # Ordered through the first window, then a record from the past.
+        records = [
+            record_for(frame, 0, ts)
+            for ts in (100, 900, 2_000_000, 400, 3_000_000)
+        ]
+        stream = StreamingRadioTrace(0, 1, iter(records))
+        buffered, hi = stream.buffered_until(1_000)
+        assert hi == 2
+        with pytest.raises(ValueError, match="local-time order"):
+            stream.records
+        # Widening (a second prefix request past the disorder) also raises.
+        stream2 = StreamingRadioTrace(0, 1, iter(records))
+        stream2.buffered_until(1_000)
+        with pytest.raises(ValueError, match="local-time order"):
+            stream2.buffered_until(2_500_000)
+
+    def test_pipeline_attributes_stay_live(self):
+        """Mutating the pipeline's bootstrap knobs between runs must take
+        effect (the coordinator is derived per run, not frozen)."""
+        from repro.core.pipeline import JigsawPipeline
+
+        early = data_frame(seq=1)
+        late = data_frame(seq=2)
+        t0 = RadioTrace(0, 1, [
+            record_for(early, 0, 0),
+            record_for(late, 0, 3_000_000),
+        ])
+        t1 = RadioTrace(1, 1, [record_for(late, 1, 3_000_400)])
+        pipeline = JigsawPipeline(auto_widen_bootstrap=False)
+        assert not pipeline.run([t0, t1]).bootstrap.fully_synchronized
+        pipeline.auto_widen_bootstrap = True
+        report = pipeline.run([t0, t1])
+        assert report.bootstrap.fully_synchronized
+        assert report.bootstrap.window_us > 1_000_000
+
+
+class TestWorkerPolicy:
+    def test_resolves_like_sharded_unifier(self):
+        from repro.core.unify.sharded import ShardedUnifier
+
+        for max_workers, n_shards in [
+            (None, 1), (None, 3), (0, 3), (1, 3), (2, 3), (8, 3), (2, 1),
+        ]:
+            assert ShardedUnifier(
+                max_workers=max_workers
+            )._worker_count(n_shards) == resolve_pool_workers(
+                max_workers, n_shards
+            )
+
+    def test_serial_when_single_shard(self):
+        assert resolve_pool_workers(None, 1) == 1
+        assert resolve_pool_workers(16, 1) == 1
+        assert resolve_pool_workers(16, 4) == 4

@@ -110,6 +110,52 @@ class TestPipelineEndToEnd:
         assert report.unification.stats.jframes > 0
 
 
+class TestExchangeRefTrimming:
+    def test_materialized_run_keeps_exchange_refs(self, pipelined):
+        _, report = pipelined
+        segmented = [f for f in report.flows if f.observations]
+        assert segmented
+        assert all(
+            obs.exchange is not None
+            for f in segmented
+            for obs in f.observations
+        )
+
+    def test_streaming_run_trims_exchange_refs(self, pipelined):
+        artifacts, batch = pipelined
+        report = JigsawPipeline().run_streaming(
+            artifacts.radio_traces, [], clock_groups=artifacts.clock_groups()
+        )
+        assert all(
+            obs.exchange is None
+            for f in report.flows
+            for obs in f.observations
+        )
+        # Trimming happens after inference: verdict-derived state matches
+        # the materialized run exactly.
+        assert [
+            (str(f.key), f.handshake_complete, len(f.loss_events))
+            for f in report.flows
+        ] == [
+            (str(f.key), f.handshake_complete, len(f.loss_events))
+            for f in batch.flows
+        ]
+
+    def test_trim_can_be_disabled(self, pipelined):
+        artifacts, _ = pipelined
+        report = JigsawPipeline().run(
+            artifacts.radio_traces,
+            clock_groups=artifacts.clock_groups(),
+            materialize=False,
+            trim_exchange_refs=False,
+        )
+        assert any(
+            obs.exchange is not None
+            for f in report.flows
+            for obs in f.observations
+        )
+
+
 class TestPartitionBehaviour:
     def test_sparse_fleet_partitions_or_degrades(self):
         """Keep only 2 pods far apart: bootstrap should partition (the
