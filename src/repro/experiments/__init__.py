@@ -7,6 +7,7 @@ from .common import (
     get_small_run,
     small_config,
 )
+from .scenarios import get_family_run, run_family_sweep
 
 __all__ = [
     "ExperimentRun",
@@ -14,4 +15,6 @@ __all__ = [
     "get_building_run",
     "get_small_run",
     "small_config",
+    "get_family_run",
+    "run_family_sweep",
 ]

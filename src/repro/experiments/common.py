@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core.pipeline import JigsawPipeline, JigsawReport
+from ..sim.registry import SCENARIO_SCHEMA_VERSION
 from ..sim.runner import SimulationArtifacts, run_scenario
 from ..sim.scenario import ScenarioConfig
 
@@ -42,15 +43,22 @@ class ExperimentRun:
 _CACHE: Dict[Tuple[str, int, str], ExperimentRun] = {}
 
 
-def _config_fingerprint(config: ScenarioConfig) -> str:
-    """A deterministic digest of every scenario knob.
+def _config_fingerprint(config: ScenarioConfig, family: Optional[str]) -> str:
+    """A deterministic digest of every scenario knob, schema-qualified.
 
     ``ScenarioConfig`` is a frozen dataclass of plain values (and nested
     frozen dataclasses), so its ``repr`` enumerates the full
     configuration — callers that share a cache name but override any
     knob get distinct cache entries instead of silently sharing a run.
+    The registry schema version and the scenario family name are folded
+    in, so artifacts cached for a pre-refactor config (or for another
+    family that happens to share a cache name) can never be served for a
+    new-style scenario.
     """
-    return repr(config)
+    return (
+        f"schema-v{SCENARIO_SCHEMA_VERSION}:"
+        f"family={family or '-'}:{config!r}"
+    )
 
 
 def building_config(seed: int = DEFAULT_SEED, **overrides) -> ScenarioConfig:
@@ -68,15 +76,18 @@ def get_run(
     name: str,
     config_factory: Callable[[], ScenarioConfig],
     seed: int = DEFAULT_SEED,
+    family: Optional[str] = None,
 ) -> ExperimentRun:
     """Fetch (or compute and cache) a scenario run + pipeline report.
 
     The cache key includes a fingerprint of the *full* config the factory
     produces — not just ``(name, seed)`` — so two callers sharing a name
-    but differing in any override each get their own run.
+    but differing in any override each get their own run.  ``family``
+    names the registry family the run belongs to (when there is one); it
+    and the registry schema version are part of the fingerprint.
     """
     config = config_factory()
-    key = (name, seed, _config_fingerprint(config))
+    key = (name, seed, _config_fingerprint(config, family))
     if key not in _CACHE:
         artifacts = run_scenario(config)
         report = JigsawPipeline().run(

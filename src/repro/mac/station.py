@@ -202,6 +202,8 @@ class Station(WirelessInterface):
         supports_ofdm: bool = True,
         start_us: int = 0,
         rescan_interval_us: int = 0,
+        probe_burst: int = 1,
+        scan_sweep: bool = False,
     ) -> None:
         super().__init__(
             kernel,
@@ -224,6 +226,15 @@ class Station(WirelessInterface):
         self._pending_payloads: List[bytes] = []
         self._on_associated: List[Callable[[], None]] = []
         self._rescan_interval_us = rescan_interval_us
+        self._probe_burst = probe_burst
+        self._scan_sweep = scan_sweep
+        # Sweep-in-flight bookkeeping: the id invalidates pending sweep
+        # continuations (a roam mid-sweep must not have a stale dwell
+        # callback drag the radio back off the new AP's channel), and the
+        # active flag keeps rescans shorter than a full sweep (~3 dwells)
+        # from starting overlapping sweeps that fight over the channel.
+        self._sweep_id = 0
+        self._sweep_active = False
         kernel.at(start_us, self._begin_scan)
         if rescan_interval_us > 0:
             kernel.at(start_us + rescan_interval_us, self._background_rescan)
@@ -257,15 +268,72 @@ class Station(WirelessInterface):
     def _background_rescan(self) -> None:
         """Periodic background probe, as real clients emit while roaming.
 
-        Stays on the serving channel (no dwell elsewhere, so traffic is not
-        disrupted); in-range APs answer with probe responses — the signal
-        the Section 7.3 protection analysis uses to estimate client range.
+        By default it stays on the serving channel (no dwell elsewhere, so
+        traffic is not disrupted); in-range APs answer with probe
+        responses — the signal the Section 7.3 protection analysis uses to
+        estimate client range.  With ``scan_sweep`` the rescan instead
+        dwells briefly on every monitored channel (as aggressive real
+        clients do), bursting ``probe_burst`` probes on each — off-channel
+        time loses downlink frames, and the broadcast probes land in every
+        channel's monitor traces, densifying bootstrap's reference sets.
         """
-        frame = make_probe_request(
-            self.mac, self.next_seq(), supports_ofdm=self.supports_ofdm
-        )
-        self.dcf.enqueue(TxJob(frame, RATE_1))
+        if self._sweep_active:
+            pass  # previous sweep still dwelling; skip this rescan tick
+        elif self._scan_sweep and self.associated:
+            self._sweep_active = True
+            self._sweep_channels(self._sweep_id, 0)
+        else:
+            self._emit_probe_burst()
         self.kernel.after(self._rescan_interval_us, self._background_rescan)
+
+    def _emit_probe_burst(self) -> None:
+        for _ in range(self._probe_burst):
+            frame = make_probe_request(
+                self.mac, self.next_seq(), supports_ofdm=self.supports_ofdm
+            )
+            self.dcf.enqueue(TxJob(frame, RATE_1))
+
+    def _sweep_channels(self, sweep_id: int, index: int) -> None:
+        """Dwell on each monitored channel in turn, probing as we go."""
+        if sweep_id != self._sweep_id:
+            return  # cancelled by a roam; it already restored the channel
+        channels = [Channel(n) for n in ORTHOGONAL_CHANNELS]
+        if index >= len(channels):
+            self._sweep_active = False
+            self.channel = self.ap.channel
+            return
+        self.channel = channels[index]
+        self._emit_probe_burst()
+        self.kernel.after(
+            SCAN_DWELL_US, lambda: self._sweep_channels(sweep_id, index + 1)
+        )
+
+    # --- roaming ----------------------------------------------------------
+
+    def roam_to(self, position: Point, ap: "object") -> None:
+        """Move to ``position`` and (re)associate with ``ap``.
+
+        Models a laptop carried between coverage areas: the radio follows
+        its new strongest AP, tearing down the old association and running
+        the auth/assoc handshake again on the new channel.  Upper-layer
+        payloads sent meanwhile queue until the new association completes
+        (TCP retransmissions cover the gap, exactly as on a real handoff).
+        """
+        self.position = position
+        if self._sweep_active:
+            # Abandon any in-flight channel sweep: its pending dwell
+            # callbacks must not drag the radio back off the (possibly
+            # new) serving channel mid-handshake.
+            self._sweep_id += 1
+            self._sweep_active = False
+            self.channel = self.ap.channel
+        if ap is self.ap and self.associated:
+            return
+        self.ap = ap
+        self.associated = False
+        self._ap_rssi_dbm = None
+        self.channel = ap.channel
+        self._begin_handshake()
 
     def _begin_handshake(self) -> None:
         self._assoc_deadline = self.kernel.now_us + ASSOC_TIMEOUT_US

@@ -80,6 +80,21 @@ class MonitorRadio:
             record = self._phy_error_record(tx, rssi_dbm, local_ts)
         self.trace.append(record)
 
+    def drain_captured(self) -> List[TraceRecord]:
+        """Hand over (and clear) the records captured since the last drain.
+
+        The streaming scenario feed (:mod:`repro.sim.stream`) moves
+        records out of the radio as the simulation advances, so a
+        streamed run never holds a second materialized copy of the trace:
+        ownership passes to the consuming
+        :class:`~repro.jtrace.io.StreamingRadioTrace`.
+        """
+        drained = self.trace.records
+        if not drained:
+            return []
+        self.trace.records = []
+        return drained
+
     # --- record builders ---------------------------------------------------
 
     def _valid_record(

@@ -97,6 +97,18 @@ class WiredNetwork:
         self._clients[mac] = (ip, ap)
         self._ip_to_mac[ip] = mac
 
+    def reassign_client(self, mac: MacAddress, ap: AccessPoint) -> None:
+        """Repoint a roamed client's downlink bridging at its new AP.
+
+        The real distribution network learns this from the new AP's
+        bridge-table update on reassociation; here the roam scheduler
+        tells us directly.
+        """
+        entry = self._clients.get(mac)
+        if entry is None:
+            raise KeyError(f"unknown wireless client {mac}")
+        self._clients[mac] = (entry[0], ap)
+
     def client_ip(self, mac: MacAddress) -> Optional[int]:
         entry = self._clients.get(mac)
         return entry[0] if entry else None

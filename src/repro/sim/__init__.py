@@ -1,8 +1,31 @@
-"""Simulation substrate: kernel, building, scenarios, workload, runner."""
+"""Simulation substrate: kernel, building, scenarios, workload, runner.
+
+Scenario configuration is componentized (:mod:`repro.sim.scenario`),
+named workload families live in the registry (:mod:`repro.sim.registry`),
+and runs can execute either materialized (:func:`run_scenario`) or
+streamed straight into the pipeline (:func:`repro.sim.stream.stream_scenario`).
+"""
 
 from .building import Building, Placement, assign_channels, pod_reduction_order
 from .kernel import EventHandle, Kernel
-from .scenario import ClockConfig, ScenarioConfig, WorkloadConfig
+from .scenario import (
+    ClientBehaviorConfig,
+    ClockConfig,
+    FleetConfig,
+    GeometryConfig,
+    ImpairmentConfig,
+    ScenarioConfig,
+    ScenarioStreams,
+    WorkloadConfig,
+)
+from .registry import (
+    REGISTRY,
+    SCALES,
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioFamily,
+    ScenarioRegistry,
+    scenario_config,
+)
 from .workload import FlowArchetype, FlowRequest, generate_flows
 
 __all__ = [
@@ -14,23 +37,52 @@ __all__ = [
     "Kernel",
     "SimulationArtifacts",
     "run_scenario",
+    "build_scenario",
+    "finalize_scenario",
+    "RoamEvent",
+    "ScenarioWorld",
+    "stream_scenario",
+    "StreamedScenario",
+    "ClientBehaviorConfig",
     "ClockConfig",
+    "FleetConfig",
+    "GeometryConfig",
+    "ImpairmentConfig",
     "ScenarioConfig",
+    "ScenarioStreams",
     "WorkloadConfig",
+    "REGISTRY",
+    "SCALES",
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioFamily",
+    "ScenarioRegistry",
+    "scenario_config",
     "FlowArchetype",
     "FlowRequest",
     "generate_flows",
 ]
 
-_LAZY = ("SimulationArtifacts", "run_scenario")
-
-
-def __getattr__(name):
+_LAZY = {
     # The runner pulls in the MAC/monitor/TCP substrates, which themselves
     # import scenario configuration from this package; loading it lazily
     # keeps `repro.sim` import-light and breaks the cycle.
-    if name in _LAZY:
-        from . import runner
+    "SimulationArtifacts": "runner",
+    "run_scenario": "runner",
+    "build_scenario": "runner",
+    "finalize_scenario": "runner",
+    "RoamEvent": "runner",
+    "ScenarioWorld": "runner",
+    # The streaming feed sits on top of the runner; same cycle, same fix.
+    "stream_scenario": "stream",
+    "StreamedScenario": "stream",
+}
 
-        return getattr(runner, name)
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

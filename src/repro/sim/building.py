@@ -42,6 +42,13 @@ class Placement:
         return self.position[1]
 
 
+#: Hidden-terminal hotspot cluster centers, as fractions of building length.
+HOTSPOT_CLUSTER_FRACTIONS: Tuple[float, float] = (0.2, 0.8)
+
+#: Uniform jitter around each hotspot cluster center, in meters.
+HOTSPOT_CLUSTER_SPREAD_M = 4.0
+
+
 @dataclass
 class Building:
     """Simplified four-story two-wing building."""
@@ -137,16 +144,62 @@ class Building:
         distance from corridor-mounted pods depresses their per-station
         coverage.
         """
+        return [
+            self.random_client_placement(rng, corner_fraction)
+            for _ in range(count)
+        ]
+
+    def random_client_placement(
+        self, rng: np.random.Generator, corner_fraction: float = 0.15
+    ) -> Placement:
+        """One office placement drawn from ``rng``.
+
+        This is the per-client draw :meth:`place_clients` makes; the
+        roaming scheduler reuses it to pick each move's destination so a
+        roamer's new position is distributed like any other client's.
+        """
+        floor = int(rng.integers(0, self.floors))
+        if rng.random() < corner_fraction:
+            # Far corner of a wing: max distance from the corridor.
+            x = float(rng.choice([1.5, self.length_m - 1.5]))
+            y = float(rng.choice([0.8, self.wing_width_m - 0.8]))
+        else:
+            x = float(rng.uniform(2.0, self.length_m - 2.0))
+            y = float(rng.uniform(1.0, self.wing_width_m - 1.0))
+        pos = (x, y, self.client_z(floor))
+        return Placement(pos, floor, self.wing_of(x))
+
+    def place_clients_hotspot(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        floor: int = 0,
+        cluster_fractions: Sequence[float] = HOTSPOT_CLUSTER_FRACTIONS,
+        spread_m: float = HOTSPOT_CLUSTER_SPREAD_M,
+    ) -> List[Placement]:
+        """Two tight client clusters at opposite ends of one floor.
+
+        The cluster centers sit ~66 m apart — beyond carrier-sense range
+        at client transmit power under the default propagation model
+        (path loss exceeds the ~97 dB carrier-sense budget past ~53 m) —
+        while both clusters remain in good range of a mid-building AP:
+        the canonical hidden-terminal hotspot.  Clients alternate between
+        clusters so the two sides stay balanced.
+        """
+        centers = [f * self.length_m for f in cluster_fractions]
         placements = []
-        for _ in range(count):
-            floor = int(rng.integers(0, self.floors))
-            if rng.random() < corner_fraction:
-                # Far corner of a wing: max distance from the corridor.
-                x = float(rng.choice([1.5, self.length_m - 1.5]))
-                y = float(rng.choice([0.8, self.wing_width_m - 0.8]))
-            else:
-                x = float(rng.uniform(2.0, self.length_m - 2.0))
-                y = float(rng.uniform(1.0, self.wing_width_m - 1.0))
+        for i in range(count):
+            cx = centers[i % len(centers)]
+            x = float(
+                np.clip(
+                    cx + rng.uniform(-spread_m, spread_m),
+                    1.0,
+                    self.length_m - 1.0,
+                )
+            )
+            y = float(
+                rng.uniform(self.corridor_y_m - 3.0, self.corridor_y_m + 3.0)
+            )
             pos = (x, y, self.client_z(floor))
             placements.append(Placement(pos, floor, self.wing_of(x)))
         return placements

@@ -1,21 +1,50 @@
-"""Scenario configuration.
+"""Scenario configuration: pluggable components, one composed config.
 
-One :class:`ScenarioConfig` fixes everything about a run — geometry, fleet
-sizes, client mix, clock error magnitudes, workload, wired-path behaviour —
-and a single seed makes the whole simulation reproducible.  Named
-constructors give the scales used throughout the tests and benchmarks:
+A scenario is described by five orthogonal components, each a small frozen
+dataclass that can be swapped or overridden independently:
+
+* :class:`GeometryConfig` — the building and where infrastructure sits
+  (floors, AP grid, pod count, the uncovered administrative wing);
+* :class:`FleetConfig` — who is deployed (client count and placement
+  style, capability mix, transmit powers, the AP protection policy);
+* :class:`ClientBehaviorConfig` — how clients *act* (background rescans,
+  probe bursts, channel sweeps, roaming between APs, arrival staggering);
+* :class:`WorkloadConfig` — what they transfer (archetype mix, sizes,
+  diurnal shaping, flash-crowd arrival waves);
+* :class:`ImpairmentConfig` — what the environment does to them
+  (microwave interference, wired-path loss and delay, ARP broadcast
+  cadence);
+
+plus :class:`ClockConfig` for the monitors' capture-clock error model.
+:class:`ScenarioConfig` composes the six and stays drop-in compatible
+with the old monolithic config: every historical flat field name is
+accepted as a constructor keyword (routed into the owning component) and
+readable as a property, so ``ScenarioConfig.small(fraction_11b_clients=0.5)``
+keeps meaning what it always did.
+
+Components compose without perturbing each other's randomness: every
+*optional* behavior draws from its own :class:`ScenarioStreams` stream,
+derived via ``np.random.SeedSequence`` spawn keys, so enabling roaming
+(say) cannot shift the random draws that place clients or set clock
+errors.  The named constructors give the scales used throughout the
+tests and benchmarks:
 
 * :meth:`ScenarioConfig.tiny` — a handful of nodes, sub-second; unit tests.
 * :meth:`ScenarioConfig.small` — one floor, seconds; integration tests.
 * :meth:`ScenarioConfig.building` — the paper's shape (4 floors, 39 pods /
   156 radios, channels 1/6/11), compressed in time; benchmarks.
+
+Named scenario *families* built from these components live in
+:mod:`repro.sim.registry`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -36,44 +65,32 @@ class ClockConfig:
 
 
 @dataclass(frozen=True)
-class WorkloadConfig:
-    """Traffic mix: the paper's oracle workload was "a combination of Web
-    browsing ..., interactive ssh sessions ..., and scp copies of large
-    files (producing both short and long flows as well as small and large
-    packets)" (Section 6)."""
+class GeometryConfig:
+    """The building and where the infrastructure is mounted."""
 
-    flows_per_client_per_s: float = 0.5
-    web_weight: float = 0.6
-    ssh_weight: float = 0.2
-    scp_weight: float = 0.2
-    web_bytes_mean: float = 24_000.0
-    ssh_bytes_mean: float = 4_000.0
-    scp_bytes_mean: float = 400_000.0
-    upload_fraction: float = 0.25
-    mss_bytes: int = 1460
-
-    def archetype_weights(self) -> tuple:
-        total = self.web_weight + self.ssh_weight + self.scp_weight
-        if total <= 0:
-            raise ValueError("workload weights must sum to a positive value")
-        return (
-            self.web_weight / total,
-            self.ssh_weight / total,
-            self.scp_weight / total,
-        )
-
-
-@dataclass(frozen=True)
-class ScenarioConfig:
-    """Complete description of one simulated deployment and run."""
-
-    seed: int = 0
-    duration_us: int = 5_000_000
-
-    # Geometry and fleet
     floors: int = 4
     aps_per_floor: int = 10
     n_pods: int = 39
+
+    # The paper's building has an administrative wing (first floor, left)
+    # with clients but no monitors or APs (footnote 2); clients there reach
+    # distant APs and drag the Figure 6 client coverage tail down.
+    uncovered_wing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_pods < 1 or self.aps_per_floor < 1 or self.floors < 1:
+            raise ValueError("fleet sizes must be positive")
+
+
+#: Client placement styles understood by the runner (see
+#: :meth:`repro.sim.building.Building.place_clients`).
+CLIENT_PLACEMENTS = ("offices", "hotspot")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The production population: clients, capabilities, radio policy."""
+
     n_clients: int = 40
     corner_client_fraction: float = 0.15
 
@@ -90,66 +107,376 @@ class ScenarioConfig:
     # client in range" (Section 7.3).
     protection_timeout_us: int = 3_600_000_000
 
+    # "offices" spreads clients through the building; "hotspot" packs them
+    # into two mutually-hidden clusters (the hidden-terminal family).
+    placement: str = "offices"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction_11b_clients <= 1.0:
+            raise ValueError("fraction_11b_clients must be in [0, 1]")
+        if self.n_clients < 1:
+            raise ValueError("fleet sizes must be positive")
+        if self.placement not in CLIENT_PLACEMENTS:
+            raise ValueError(
+                f"unknown client placement {self.placement!r} "
+                f"(choose from {CLIENT_PLACEMENTS})"
+            )
+
+
+@dataclass(frozen=True)
+class ClientBehaviorConfig:
+    """How clients behave on the air, beyond carrying traffic."""
+
+    # Clients emit a background probe on their serving channel at this
+    # interval (0 = never); probe responses are the range evidence the
+    # Section 7.3 protection analysis consumes.
+    rescan_interval_us: int = 0
+
+    # Probe requests per background rescan (real chipsets burst several).
+    probe_burst: int = 1
+
+    # When true, background rescans sweep every monitored channel (dwelling
+    # briefly off the serving channel) instead of probing in place — the
+    # channel-scanning client family.  Broadcast probes on all channels
+    # densify bootstrap's cross-channel reference sets.
+    scan_sweep: bool = False
+
+    # Roaming: this fraction of clients periodically move to a new office
+    # position and re-associate with the then-strongest AP.  Intervals are
+    # exponential with the given mean.  0 disables roaming entirely.
+    roam_fraction: float = 0.0
+    roam_interval_us: int = 0
+
+    # When set, client start times compress into [0, start_window_us]
+    # instead of the default stagger — the flash-crowd arrival wave.
+    start_window_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.roam_fraction <= 1.0:
+            raise ValueError("roam_fraction must be in [0, 1]")
+        if self.probe_burst < 1:
+            raise ValueError("probe_burst must be at least 1")
+        if self.roam_fraction > 0 and self.roam_interval_us <= 0:
+            raise ValueError(
+                "roaming clients need a positive roam_interval_us"
+            )
+        if self.start_window_us is not None and self.start_window_us <= 0:
+            raise ValueError("start_window_us must be positive when set")
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Environmental and wired-side impairments."""
+
+    # Environment: duty-cycled broadband interference from microwave ovens
+    # (Section 7.1); also a source of genuine wireless TCP loss (Fig 11).
+    microwave: bool = False
+
     # Wired side (for the Fig 11 decomposition and the coverage oracle)
     wired_loss_rate: float = 0.003
     wired_rtt_us: int = 20_000
     arp_interval_us: int = 400_000   # Vernier-style tracker ARP cadence
 
-    # Clients emit a background probe on their serving channel at this
-    # interval (0 = never); probe responses are the range evidence the
-    # Section 7.3 protection analysis consumes.
-    client_rescan_interval_us: int = 0
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.wired_loss_rate < 1.0:
+            raise ValueError("wired_loss_rate must be in [0, 1)")
 
-    # The paper's building has an administrative wing (first floor, left)
-    # with clients but no monitors or APs (footnote 2); clients there reach
-    # distant APs and drag the Figure 6 client coverage tail down.
-    uncovered_wing: bool = False
 
-    # Environment
-    microwave: bool = False
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Traffic mix: the paper's oracle workload was "a combination of Web
+    browsing ..., interactive ssh sessions ..., and scp copies of large
+    files (producing both short and long flows as well as small and large
+    packets)" (Section 6)."""
+
+    flows_per_client_per_s: float = 0.5
+    web_weight: float = 0.6
+    ssh_weight: float = 0.2
+    scp_weight: float = 0.2
+    web_bytes_mean: float = 24_000.0
+    ssh_bytes_mean: float = 4_000.0
+    scp_bytes_mean: float = 400_000.0
+    upload_fraction: float = 0.25
+    mss_bytes: int = 1460
 
     # Diurnal shaping: when true, client activity follows a day curve
-    # compressed into ``duration_us`` (midnight..midnight).
+    # compressed into the scenario duration (midnight..midnight).
     diurnal: bool = False
 
-    clocks: ClockConfig = field(default_factory=ClockConfig)
-    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    # Flash crowd: a gaussian arrival wave multiplying the base rate by up
+    # to (1 + flash_intensity), centered at flash_center (fraction of the
+    # run) with flash_width (fraction of the run) standard deviation.
+    flash_crowd: bool = False
+    flash_center: float = 0.5
+    flash_width: float = 0.08
+    flash_intensity: float = 6.0
 
     def __post_init__(self) -> None:
-        if self.duration_us <= 0:
+        weights = (self.web_weight, self.ssh_weight, self.scp_weight)
+        if any(w < 0 for w in weights):
+            raise ValueError(
+                f"archetype weights must be non-negative, got {weights}"
+            )
+        if sum(weights) <= 0:
+            raise ValueError(
+                "workload weights must sum to a positive value "
+                f"(got web={self.web_weight}, ssh={self.ssh_weight}, "
+                f"scp={self.scp_weight})"
+            )
+        if self.flash_crowd and self.flash_intensity <= 0:
+            raise ValueError("flash_intensity must be positive")
+        if self.flash_crowd and not 0 < self.flash_width:
+            raise ValueError("flash_width must be positive")
+        if self.flash_crowd and not 0.0 <= self.flash_center <= 1.0:
+            raise ValueError(
+                "flash_center is a fraction of the run, must be in [0, 1] "
+                f"(got {self.flash_center})"
+            )
+
+    def archetype_weights(self) -> tuple:
+        """The (web, ssh, scp) mix, explicitly normalized to sum to 1.
+
+        A zero or negative sum cannot reach here: construction already
+        rejects it in ``__post_init__``.
+        """
+        total = self.web_weight + self.ssh_weight + self.scp_weight
+        return (
+            self.web_weight / total,
+            self.ssh_weight / total,
+            self.scp_weight / total,
+        )
+
+    def flash_envelope(self, t_us: int, duration_us: int) -> float:
+        """Arrival-rate multiplier of the flash wave at ``t_us`` (>= 1)."""
+        if not self.flash_crowd:
+            return 1.0
+        center = self.flash_center * duration_us
+        width = max(1.0, self.flash_width * duration_us)
+        return 1.0 + self.flash_intensity * math.exp(
+            -((t_us - center) ** 2) / (2 * width**2)
+        )
+
+    @property
+    def flash_peak(self) -> float:
+        """Maximum value :meth:`flash_envelope` can take."""
+        return 1.0 + self.flash_intensity if self.flash_crowd else 1.0
+
+
+#: Component attribute names on :class:`ScenarioConfig`.
+COMPONENT_NAMES = (
+    "geometry",
+    "fleet",
+    "behavior",
+    "impairments",
+    "workload",
+    "clocks",
+)
+
+#: Historical flat spellings that differ from the component field name.
+_FLAT_ALIASES = {
+    "client_rescan_interval_us": ("behavior", "rescan_interval_us"),
+}
+
+
+def _build_flat_routes() -> Dict[str, Tuple[str, str]]:
+    """Map every component field name to its owning component.
+
+    Field names are required to be unique across components so any of
+    them can be passed flat to :class:`ScenarioConfig` unambiguously.
+    """
+    routes: Dict[str, Tuple[str, str]] = dict(_FLAT_ALIASES)
+    for component, cls in (
+        ("geometry", GeometryConfig),
+        ("fleet", FleetConfig),
+        ("behavior", ClientBehaviorConfig),
+        ("impairments", ImpairmentConfig),
+        ("workload", WorkloadConfig),
+    ):
+        for f in fields(cls):
+            if f.name in routes:
+                raise TypeError(
+                    f"scenario component field {f.name!r} is ambiguous: "
+                    f"declared by both {routes[f.name][0]} and {component}"
+                )
+            routes[f.name] = (component, f.name)
+    return routes
+
+
+_FLAT_ROUTES = _build_flat_routes()
+
+#: Spawn keys for the per-component random streams.  Fixed integers (never
+#: reused, never renumbered) so a stream's identity survives unrelated
+#: components gaining or losing features.
+_STREAM_KEYS = {
+    "geometry": 1,
+    "fleet": 2,
+    "behavior": 3,
+    "workload": 4,
+    "impairments": 5,
+    "clocks": 6,
+    "roam": 7,
+    "arrival": 8,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioStreams:
+    """Per-component random streams for one scenario seed.
+
+    Streams are derived with ``np.random.SeedSequence`` spawn keys —
+    ``SeedSequence(seed, spawn_key=(key,))`` is exactly the child
+    ``SeedSequence(seed).spawn(...)`` would hand out for that index, but
+    addressed by a stable per-component key instead of call order.  Two
+    consequences the scenario subsystem relies on:
+
+    * components cannot perturb each other: the roaming component's draws
+      come from the ``roam`` stream no matter how many draws the workload
+      stream made;
+    * per-entity streams (``entity("roam", 3)`` for roamer #3) are
+      independent of how many entities exist, so adding a client does not
+      reshuffle the others' behavior.
+    """
+
+    seed: int
+
+    def component(self, name: str) -> np.random.Generator:
+        """The named component's own generator."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_STREAM_KEYS[name],))
+        )
+
+    def entity(self, name: str, index: int) -> np.random.Generator:
+        """A per-entity generator under the named component stream."""
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                self.seed, spawn_key=(_STREAM_KEYS[name], index)
+            )
+        )
+
+
+@dataclass(frozen=True, init=False)
+class ScenarioConfig:
+    """Complete description of one simulated deployment and run.
+
+    Construct it from components::
+
+        ScenarioConfig(seed=7, geometry=GeometryConfig(floors=2),
+                       workload=WorkloadConfig(flash_crowd=True))
+
+    or with the historical flat keywords, which route into the owning
+    component (and may be mixed with component keywords, flat winning)::
+
+        ScenarioConfig(seed=7, floors=2, flash_crowd=True)
+
+    Every flat name is also readable as a property (``config.floors``),
+    so pre-component call sites keep working unchanged.
+    """
+
+    seed: int
+    duration_us: int
+    geometry: GeometryConfig
+    fleet: FleetConfig
+    behavior: ClientBehaviorConfig
+    impairments: ImpairmentConfig
+    workload: WorkloadConfig
+    clocks: ClockConfig
+
+    def __init__(
+        self,
+        seed: int = 0,
+        duration_us: int = 5_000_000,
+        *,
+        geometry: Optional[GeometryConfig] = None,
+        fleet: Optional[FleetConfig] = None,
+        behavior: Optional[ClientBehaviorConfig] = None,
+        impairments: Optional[ImpairmentConfig] = None,
+        workload: Optional[WorkloadConfig] = None,
+        clocks: Optional[ClockConfig] = None,
+        **flat,
+    ) -> None:
+        components = {
+            "geometry": geometry if geometry is not None else GeometryConfig(),
+            "fleet": fleet if fleet is not None else FleetConfig(),
+            "behavior": behavior
+            if behavior is not None
+            else ClientBehaviorConfig(),
+            "impairments": impairments
+            if impairments is not None
+            else ImpairmentConfig(),
+            "workload": workload if workload is not None else WorkloadConfig(),
+        }
+        routed: Dict[str, Dict[str, object]] = {}
+        for name, value in flat.items():
+            route = _FLAT_ROUTES.get(name)
+            if route is None:
+                raise TypeError(
+                    f"ScenarioConfig got an unexpected keyword {name!r}"
+                )
+            component, attr = route
+            routed.setdefault(component, {})[attr] = value
+        for component, attrs in routed.items():
+            components[component] = replace(components[component], **attrs)
+        if duration_us <= 0:
             raise ValueError("duration must be positive")
-        if not 0.0 <= self.fraction_11b_clients <= 1.0:
-            raise ValueError("fraction_11b_clients must be in [0, 1]")
-        if self.n_pods < 1 or self.n_clients < 1 or self.aps_per_floor < 1:
-            raise ValueError("fleet sizes must be positive")
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "duration_us", int(duration_us))
+        for name, value in components.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self, "clocks", clocks if clocks is not None else ClockConfig()
+        )
+
+    # --- composition helpers ---------------------------------------------
+
+    def with_overrides(self, **overrides) -> "ScenarioConfig":
+        """This config with components and/or flat fields replaced.
+
+        Accepts exactly the constructor's keywords; unspecified components
+        carry over from this config.
+        """
+        kwargs = {name: getattr(self, name) for name in COMPONENT_NAMES}
+        kwargs["seed"] = self.seed
+        kwargs["duration_us"] = self.duration_us
+        for name in ("seed", "duration_us", *COMPONENT_NAMES):
+            if name in overrides:
+                kwargs[name] = overrides.pop(name)
+        return ScenarioConfig(**kwargs, **overrides)
+
+    def streams(self) -> ScenarioStreams:
+        """The per-component random streams for this config's seed."""
+        return ScenarioStreams(self.seed)
 
     # --- named scales -----------------------------------------------------
 
     @classmethod
     def tiny(cls, seed: int = 0, **overrides) -> "ScenarioConfig":
         """A few nodes on one floor for sub-second unit tests."""
-        base = cls(
-            seed=seed,
-            duration_us=500_000,
-            floors=1,
-            aps_per_floor=2,
-            n_pods=3,
-            n_clients=4,
+        return cls._scaled(
+            dict(
+                seed=seed,
+                duration_us=500_000,
+                floors=1,
+                aps_per_floor=2,
+                n_pods=3,
+                n_clients=4,
+            ),
+            overrides,
         )
-        return replace(base, **overrides)
 
     @classmethod
     def small(cls, seed: int = 0, **overrides) -> "ScenarioConfig":
         """One floor, a dozen clients, a few seconds."""
-        base = cls(
-            seed=seed,
-            duration_us=3_000_000,
-            floors=2,
-            aps_per_floor=4,
-            n_pods=8,
-            n_clients=12,
+        return cls._scaled(
+            dict(
+                seed=seed,
+                duration_us=3_000_000,
+                floors=2,
+                aps_per_floor=4,
+                n_pods=8,
+                n_clients=12,
+            ),
+            overrides,
         )
-        return replace(base, **overrides)
 
     @classmethod
     def building(cls, seed: int = 0, **overrides) -> "ScenarioConfig":
@@ -162,36 +489,122 @@ class ScenarioConfig:
         footnote 2) removes its share, leaving the paper's ~39 deployed
         pods.
         """
-        base = cls(
-            seed=seed,
-            duration_us=10_000_000,
-            floors=4,
-            aps_per_floor=10,
-            n_pods=45,
-            n_clients=60,
-            diurnal=True,
-            client_rescan_interval_us=1_500_000,
-            uncovered_wing=True,
-            # The paper's trace sees broadband interference from microwave
-            # ovens (Section 7.1); the duty-cycled noise bursts are also a
-            # source of genuine wireless TCP loss for Figure 11.
-            microwave=True,
-            # The campus wired path is clean relative to the air (the
-            # paper's Figure 11 finds the wireless component dominant).
-            wired_loss_rate=0.0015,
+        return cls._scaled(
+            dict(
+                seed=seed,
+                duration_us=10_000_000,
+                floors=4,
+                aps_per_floor=10,
+                n_pods=45,
+                n_clients=60,
+                diurnal=True,
+                client_rescan_interval_us=1_500_000,
+                uncovered_wing=True,
+                # The paper's trace sees broadband interference from
+                # microwave ovens (Section 7.1); the duty-cycled noise
+                # bursts are also a source of genuine wireless TCP loss
+                # for Figure 11.
+                microwave=True,
+                # The campus wired path is clean relative to the air (the
+                # paper's Figure 11 finds the wireless component dominant).
+                wired_loss_rate=0.0015,
+            ),
+            overrides,
         )
-        return replace(base, **overrides)
+
+    @classmethod
+    def _scaled(cls, defaults: dict, overrides: dict) -> "ScenarioConfig":
+        """Merge a named scale's flat defaults with caller overrides.
+
+        A component passed whole in ``overrides`` wins over the scale's
+        flat defaults for that component (otherwise ``tiny(geometry=...)``
+        would have its floors silently reset by the scale).
+        """
+        merged = dict(defaults)
+        for component in COMPONENT_NAMES:
+            if component in overrides:
+                for name, route in _FLAT_ROUTES.items():
+                    if route[0] == component:
+                        merged.pop(name, None)
+        merged.update(overrides)
+        return cls(**merged)
+
+    # --- legacy flat views -------------------------------------------------
+
+    @property
+    def floors(self) -> int:
+        return self.geometry.floors
+
+    @property
+    def aps_per_floor(self) -> int:
+        return self.geometry.aps_per_floor
+
+    @property
+    def n_pods(self) -> int:
+        return self.geometry.n_pods
+
+    @property
+    def uncovered_wing(self) -> bool:
+        return self.geometry.uncovered_wing
+
+    @property
+    def n_clients(self) -> int:
+        return self.fleet.n_clients
+
+    @property
+    def corner_client_fraction(self) -> float:
+        return self.fleet.corner_client_fraction
+
+    @property
+    def fraction_11b_clients(self) -> float:
+        return self.fleet.fraction_11b_clients
+
+    @property
+    def tx_power_ap_dbm(self) -> float:
+        return self.fleet.tx_power_ap_dbm
+
+    @property
+    def tx_power_client_dbm(self) -> float:
+        return self.fleet.tx_power_client_dbm
+
+    @property
+    def protection_timeout_us(self) -> int:
+        return self.fleet.protection_timeout_us
+
+    @property
+    def client_rescan_interval_us(self) -> int:
+        return self.behavior.rescan_interval_us
+
+    @property
+    def wired_loss_rate(self) -> float:
+        return self.impairments.wired_loss_rate
+
+    @property
+    def wired_rtt_us(self) -> int:
+        return self.impairments.wired_rtt_us
+
+    @property
+    def arp_interval_us(self) -> int:
+        return self.impairments.arp_interval_us
+
+    @property
+    def microwave(self) -> bool:
+        return self.impairments.microwave
+
+    @property
+    def diurnal(self) -> bool:
+        return self.workload.diurnal
 
     # --- derived ----------------------------------------------------------
 
     @property
     def n_aps(self) -> int:
-        return self.floors * self.aps_per_floor
+        return self.geometry.floors * self.geometry.aps_per_floor
 
     @property
     def n_radios(self) -> int:
         """Monitor radios: each pod is 2 monitors x 2 radios (Section 3.2)."""
-        return self.n_pods * 4
+        return self.geometry.n_pods * 4
 
     def diurnal_activity(self, t_us: int) -> float:
         """Relative client activity level at simulated time ``t_us``.
@@ -202,7 +615,7 @@ class ScenarioConfig:
         morning and well into the night, a low overnight floor of
         always-on devices.
         """
-        if not self.diurnal:
+        if not self.workload.diurnal:
             return 1.0
         hour = 24.0 * (t_us % self.duration_us) / self.duration_us
         # Sum of two gaussian bumps (morning ramp-in, afternoon peak) over
@@ -210,3 +623,9 @@ class ScenarioConfig:
         peak = math.exp(-((hour - 13.5) ** 2) / (2 * 3.2**2))
         evening = 0.35 * math.exp(-((hour - 20.0) ** 2) / (2 * 2.0**2))
         return 0.15 + 0.85 * min(1.0, peak + evening)
+
+    def arrival_envelope(self, t_us: int) -> float:
+        """Combined arrival modulation: diurnal curve x flash wave."""
+        return self.diurnal_activity(t_us) * self.workload.flash_envelope(
+            t_us, self.duration_us
+        )

@@ -1,0 +1,148 @@
+"""Streaming scenario execution: simulator records feed the pipeline live.
+
+:func:`stream_scenario` runs a scenario *incrementally*: instead of
+driving the kernel to completion and materializing every monitor trace,
+it exposes one :class:`~repro.jtrace.io.StreamingRadioTrace` per radio —
+the same reader interface trace files use — whose records are produced by
+advancing the shared discrete-event kernel in bounded time slices on
+demand.  ``JigsawPipeline.run`` therefore consumes a simulated run through
+the identical single-read path it uses for on-disk traces:
+
+* the bootstrap prepass pulls only each radio's examination-window
+  prefix, which advances the simulation just far enough to produce it;
+* unification replays the buffered prefix and drains the remainder,
+  pulling the rest of the simulation through the same read;
+* record ownership moves from the monitor radios to the consuming
+  readers (:meth:`~repro.monitor.radio.MonitorRadio.drain_captured`), so
+  a streamed run never holds a second materialized copy of the traces.
+
+Because the simulation itself is deterministic and oblivious to when its
+records are harvested, a streamed run is bit-identical — jframe for
+jframe — to materializing the same scenario with
+:func:`~repro.sim.runner.run_scenario` and piping the traces in
+afterwards (``tests/test_sim_stream.py`` holds this, including on the
+building scenario).
+
+Typical use::
+
+    from repro.core import JigsawPipeline
+    from repro.sim.stream import stream_scenario
+
+    streamed = stream_scenario(ScenarioConfig.small(seed=7))
+    report = JigsawPipeline().run(
+        streamed.traces, clock_groups=streamed.clock_groups()
+    )
+    artifacts = streamed.artifacts()   # oracle: ground truth, flows, wired
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from ..jtrace.io import StreamingRadioTrace
+from ..jtrace.records import TraceRecord
+from ..sim.runner import (
+    ScenarioWorld,
+    SimulationArtifacts,
+    build_scenario,
+    finalize_scenario,
+)
+from ..sim.scenario import ScenarioConfig
+
+#: Default kernel advance per pull, in simulated microseconds.  Small
+#: enough that the bootstrap prepass only simulates a little past its
+#: examination window; large enough that slice overhead stays negligible.
+DEFAULT_CHUNK_US = 250_000
+
+
+class StreamedScenario:
+    """A scenario being executed lazily behind streaming trace readers.
+
+    ``traces`` are genuine :class:`StreamingRadioTrace` objects; any
+    consumer pulling records (the pipeline's bootstrap window feed, the
+    merge's drain) advances the shared kernel chunk by chunk until the
+    requested records exist.  All readers share one simulation: advancing
+    for one radio harvests newly captured records into every radio's
+    queue.
+    """
+
+    def __init__(self, world: ScenarioWorld, chunk_us: int) -> None:
+        if chunk_us <= 0:
+            raise ValueError("chunk_us must be positive")
+        self._world = world
+        self._chunk_us = chunk_us
+        self._duration_us = world.config.duration_us
+        self._complete = False
+        self._artifacts: Optional[SimulationArtifacts] = None
+        self._radios = [
+            radio for pod in world.pods for radio in pod.radios
+        ]
+        self._queues: Dict[int, Deque[TraceRecord]] = {
+            radio.radio_id: deque() for radio in self._radios
+        }
+        #: One streaming reader per radio — the pipeline's input.
+        self.traces: List[StreamingRadioTrace] = [
+            StreamingRadioTrace(
+                radio.radio_id,
+                radio.channel.number,
+                self._source(radio.radio_id),
+            )
+            for radio in self._radios
+        ]
+
+    @property
+    def config(self) -> ScenarioConfig:
+        return self._world.config
+
+    def clock_groups(self) -> List[List[int]]:
+        """Radio ids sharing one capture clock (bootstrap metadata)."""
+        return self._world.clock_groups()
+
+    def artifacts(self) -> SimulationArtifacts:
+        """The oracle bundle; runs any remaining simulation to the end.
+
+        The bundle's ``radio_traces`` are empty — record ownership moved
+        into :attr:`traces` as they were consumed — but ground truth,
+        flow outcomes, the wired trace and roam events are all present.
+        """
+        while self._advance():
+            pass
+        assert self._artifacts is not None
+        return self._artifacts
+
+    # --- the shared feed --------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Run one more kernel slice; False once the run has completed."""
+        if self._complete:
+            return False
+        kernel = self._world.kernel
+        target = min(kernel.now_us + self._chunk_us, self._duration_us)
+        kernel.run_until(target)
+        self._harvest()
+        if target >= self._duration_us:
+            self._artifacts = finalize_scenario(self._world)
+            self._complete = True
+        return True
+
+    def _harvest(self) -> None:
+        for radio in self._radios:
+            drained = radio.drain_captured()
+            if drained:
+                self._queues[radio.radio_id].extend(drained)
+
+    def _source(self, radio_id: int) -> Iterator[TraceRecord]:
+        queue = self._queues[radio_id]
+        while True:
+            while queue:
+                yield queue.popleft()
+            if not self._advance():
+                return
+
+
+def stream_scenario(
+    config: ScenarioConfig, chunk_us: int = DEFAULT_CHUNK_US
+) -> StreamedScenario:
+    """Build a scenario for lazy, pipeline-driven execution."""
+    return StreamedScenario(build_scenario(config), chunk_us)

@@ -55,9 +55,12 @@ def generate_flows(
 ) -> List[FlowRequest]:
     """Generate the full flow schedule for a scenario.
 
-    Arrival process: per-client Poisson with rate modulated by the diurnal
-    curve (thinning).  Sizes are exponential around each archetype's mean,
-    clamped to at least one segment.
+    Arrival process: per-client Poisson with rate modulated by the
+    arrival envelope — the diurnal curve times the flash-crowd wave, both
+    applied by thinning against the envelope's peak.  (With neither
+    enabled the envelope is flat at 1 and the process is plain Poisson.)
+    Sizes are exponential around each archetype's mean, clamped to at
+    least one segment.
     """
     workload = config.workload
     weights = workload.archetype_weights()
@@ -69,15 +72,18 @@ def generate_flows(
     }
 
     flows: List[FlowRequest] = []
-    rate_per_us = workload.flows_per_client_per_s / 1e6
+    # Generate at the envelope's peak rate and thin down to the local
+    # envelope value; a flash wave multiplies the peak by (1 + intensity).
+    peak = workload.flash_peak
+    rate_per_us = workload.flows_per_client_per_s / 1e6 * peak
     for client in range(config.n_clients):
         t = 0.0
         while True:
-            # Poisson thinning against the diurnal envelope.
+            # Poisson thinning against the arrival envelope.
             t += rng.exponential(1.0 / rate_per_us)
             if t >= config.duration_us:
                 break
-            if rng.random() > config.diurnal_activity(int(t)):
+            if rng.random() > config.arrival_envelope(int(t)) / peak:
                 continue
             start = _snap_to_meeting_boundary(int(t), config, rng)
             archetype = archetypes[int(rng.choice(3, p=weights))]

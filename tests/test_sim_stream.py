@@ -1,0 +1,147 @@
+"""Streaming sim -> pipeline ingest: bit parity with the materialized path.
+
+``stream_scenario`` must feed ``JigsawPipeline.run`` through the same
+single-read ``StreamingRadioTrace`` interface trace files use, producing
+output bit-identical — jframe for jframe — to materializing the run with
+``run_scenario`` and piping the traces in afterwards.  The building
+scenario is the acceptance case.
+"""
+
+import pytest
+
+from repro.core.pipeline import JigsawPipeline
+from repro.jtrace.io import StreamingRadioTrace
+from repro.sim import ScenarioConfig, run_scenario
+from repro.sim.stream import stream_scenario
+
+
+def fingerprints(jframes):
+    return [
+        (
+            jf.timestamp_us,
+            jf.kind,
+            jf.channel,
+            jf.frame_len,
+            jf.fcs,
+            jf.rate_mbps,
+            jf.duration_us,
+            jf.dispersion_us,
+            None if jf.transmitter is None else jf.transmitter.value,
+            tuple(
+                (i.radio_id, i.local_us, i.universal_us)
+                for i in jf.instances
+            ),
+        )
+        for jf in jframes
+    ]
+
+
+def assert_reports_identical(streamed_report, batch_report):
+    assert fingerprints(streamed_report.jframes) == fingerprints(
+        batch_report.jframes
+    )
+    s, b = streamed_report.unification.stats, batch_report.unification.stats
+    assert (s.records_in, s.jframes, s.instances_unified, s.resyncs) == (
+        b.records_in,
+        b.jframes,
+        b.instances_unified,
+        b.resyncs,
+    )
+    assert [str(f.key) for f in streamed_report.flows] == [
+        str(f.key) for f in batch_report.flows
+    ]
+    assert (
+        streamed_report.bootstrap.offsets_us
+        == batch_report.bootstrap.offsets_us
+    )
+
+
+class TestStreamedScenario:
+    @pytest.fixture(scope="class")
+    def small_pair(self):
+        config = ScenarioConfig.small(seed=42)
+        artifacts = run_scenario(config)
+        batch = JigsawPipeline().run(
+            artifacts.radio_traces, clock_groups=artifacts.clock_groups()
+        )
+        streamed = stream_scenario(config)
+        report = JigsawPipeline().run(
+            streamed.traces, clock_groups=streamed.clock_groups()
+        )
+        return artifacts, batch, streamed, report
+
+    def test_small_scenario_bit_parity(self, small_pair):
+        _, batch, _, report = small_pair
+        assert_reports_identical(report, batch)
+
+    def test_traces_are_streaming_readers(self, small_pair):
+        _, _, streamed, _ = small_pair
+        assert all(
+            isinstance(t, StreamingRadioTrace) for t in streamed.traces
+        )
+
+    def test_record_ownership_moves_to_readers(self, small_pair):
+        """A streamed run keeps one copy of the trace: the radios are
+        drained, the consuming readers hold the records."""
+        artifacts, _, streamed, _ = small_pair
+        streamed_artifacts = streamed.artifacts()
+        assert all(len(t) == 0 for t in streamed_artifacts.radio_traces)
+        assert sum(len(t) for t in streamed.traces) == sum(
+            len(t) for t in artifacts.radio_traces
+        )
+
+    def test_oracle_survives_streaming(self, small_pair):
+        artifacts, _, streamed, _ = small_pair
+        oracle = streamed.artifacts()
+        assert len(oracle.ground_truth) == len(artifacts.ground_truth)
+        assert len(oracle.flow_outcomes) == len(artifacts.flow_outcomes)
+        assert len(oracle.wired_trace) == len(artifacts.wired_trace)
+
+    def test_artifacts_completes_undrained_run(self):
+        """artifacts() finishes the simulation even if nothing consumed
+        the streaming traces."""
+        streamed = stream_scenario(ScenarioConfig.tiny(seed=3))
+        oracle = streamed.artifacts()
+        assert oracle.events_run > 0
+        assert oracle.ground_truth
+        assert streamed._world.kernel.now_us == oracle.config.duration_us
+
+
+class TestLazyExecution:
+    def test_bootstrap_prefix_advances_sim_partially(self):
+        """Pulling only a window prefix simulates only (roughly) that
+        window — the overlap the fused prepass exists for."""
+        config = ScenarioConfig.small(seed=9)
+        streamed = stream_scenario(config, chunk_us=100_000)
+        trace = streamed.traces[0]
+        first = trace.first_timestamp_us
+        assert first is not None
+        trace.buffered_until(first + 200_000)
+        now = streamed._world.kernel.now_us
+        assert 0 < now < config.duration_us, now
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_us"):
+            stream_scenario(ScenarioConfig.tiny(), chunk_us=0)
+
+
+class TestBuildingScenarioParity:
+    def test_building_bit_parity(self):
+        """The acceptance case: the paper-shaped building scenario,
+        streamed sim ingest bit-identical to the materialized path.
+
+        Duration is compressed (the building *shape* is what matters:
+        full fleet, 4 floors, channels 1/6/11, diurnal + microwave) to
+        keep the double simulation affordable in the tier-1 suite.
+        """
+        config = ScenarioConfig.building(seed=7, duration_us=2_000_000)
+        artifacts = run_scenario(config)
+        batch = JigsawPipeline().run(
+            artifacts.radio_traces, clock_groups=artifacts.clock_groups()
+        )
+        streamed = stream_scenario(config)
+        report = JigsawPipeline().run(
+            streamed.traces, clock_groups=streamed.clock_groups()
+        )
+        assert_reports_identical(report, batch)
+        assert report.unification.stats.jframes > 1_000
