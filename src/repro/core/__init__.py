@@ -1,5 +1,6 @@
 """The Jigsaw core: synchronization, unification, reconstruction, analyses."""
 
+from .faults import HealthReport, RetryPolicy, ShardHealth, SyncHealth
 from .link.attempt import AttemptAssembler, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, FrameExchange
 from .passes import MaterializePass, PassContext, PipelinePass, run_passes
@@ -17,6 +18,10 @@ from .unify.jframe import JFrame, JFrameKind
 from .unify.unifier import UnificationResult, Unifier
 
 __all__ = [
+    "HealthReport",
+    "RetryPolicy",
+    "ShardHealth",
+    "SyncHealth",
     "AttemptAssembler",
     "TransmissionAttempt",
     "ExchangeAssembler",

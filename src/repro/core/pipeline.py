@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..jtrace.io import RadioTrace, StreamingRadioTrace
+from .faults import HealthReport, ShardHealth
 from .link.attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, ExchangeStats, FrameExchange
 from .passes import MaterializePass, PassContext, PipelinePass, check_pass_names
@@ -93,6 +94,10 @@ class JigsawReport:
     elapsed_seconds: float
     passes: Dict[str, Any] = field(default_factory=dict)
     materialized: bool = True
+    #: Run-level degradation ledger: ingest decode damage, quarantined
+    #: radios, shard retries/serial fallbacks.  ``health.degraded`` is
+    #: False exactly when the run saw pristine inputs and healthy workers.
+    health: HealthReport = field(default_factory=HealthReport)
 
     @property
     def jframes(self) -> List[JFrame]:
@@ -131,6 +136,8 @@ class JigsawReport:
             f"completed handshakes:  {self.transport_stats.handshakes_completed:,}",
             f"pipeline time:         {self.elapsed_seconds:.2f}s",
         ]
+        if self.health.degraded:
+            lines.append(f"degraded:              {self.health.summary()}")
         return "\n".join(lines)
 
 
@@ -202,14 +209,21 @@ class JigsawPipeline:
             else trace.sorted_by_local_time()
             for trace in traces
         ]
+        health = HealthReport()
         if bootstrap is None:
             # Built per run so reconfiguring the public attributes
             # (window, widening, workers) between runs keeps working.
-            bootstrap = ShardedBootstrap(
+            coordinator = ShardedBootstrap(
                 max_workers=self.bootstrap_workers,
                 window_us=self.bootstrap_window_us,
                 auto_widen=self.auto_widen_bootstrap,
-            ).bootstrap(ordered, clock_groups=clock_groups)
+            )
+            bootstrap = coordinator.bootstrap(ordered, clock_groups=clock_groups)
+            health.bootstrap_shards.merge(coordinator.health)
+        health.sync.quarantined = dict(bootstrap.quarantined)
+        health.sync.islands = [list(i) for i in bootstrap.islands]
+        health.sync.rejoined = list(bootstrap.rejoined)
+        health.sync.widen_rounds = bootstrap.widen_rounds
 
         # One pass: jframes stream out of the merge and straight through
         # attempt grouping, the exchange FSM, flow binning and every
@@ -249,6 +263,15 @@ class JigsawPipeline:
             tracks=stream.tracks,
             stats=stream.stats,
         )
+        # Ingest damage counters are complete only now — streaming traces
+        # fill their ``decode_health`` as the merge drains them.
+        for trace in ordered:
+            decode_health = getattr(trace, "decode_health", None)
+            if decode_health is not None:
+                health.ingest.merge(decode_health)
+        unify_health = getattr(self.unifier, "health", None)
+        if isinstance(unify_health, ShardHealth):
+            health.unify_shards.merge(unify_health)
         flows = flow_collector.finish()
         transport = TransportInference()
         transport_stats = transport.run(flows)
@@ -288,6 +311,7 @@ class JigsawPipeline:
             elapsed_seconds=time.perf_counter() - started,
             passes=results,
             materialized=materialize,
+            health=health,
         )
 
     def run_streaming(

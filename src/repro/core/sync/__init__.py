@@ -3,6 +3,9 @@
 from .bootstrap import (
     BootstrapResult,
     DEFAULT_BOOTSTRAP_WINDOW_US,
+    DEFAULT_STABILITY_TOLERANCE_US,
+    QUARANTINE_NO_REFERENCES,
+    QUARANTINE_UNSTABLE_CLOCK,
     SyncPartitionError,
     bootstrap_synchronization,
     union_shard_payloads,
@@ -14,6 +17,9 @@ from .sharded import ShardedBootstrap, resolve_pool_workers
 __all__ = [
     "BootstrapResult",
     "DEFAULT_BOOTSTRAP_WINDOW_US",
+    "DEFAULT_STABILITY_TOLERANCE_US",
+    "QUARANTINE_NO_REFERENCES",
+    "QUARANTINE_UNSTABLE_CLOCK",
     "ShardedBootstrap",
     "SyncPartitionError",
     "bootstrap_synchronization",

@@ -44,6 +44,7 @@ bit-identical offsets.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -52,8 +53,21 @@ from ...jtrace.io import RadioTrace
 from ...jtrace.records import TraceRecord
 from .refs import ReferenceKey, reference_key
 
+logger = logging.getLogger(__name__)
+
 #: Default bootstrap examination window ("the first second of data").
 DEFAULT_BOOTSTRAP_WINDOW_US = 1_000_000
+
+#: Default clock-fit stability tolerance.  Legitimate skew across even the
+#: widest (16 s) examination window at 100 ppm drifts offsets by ~1.6 ms;
+#: a radio whose redundant reference edges disagree by more than this is
+#: not drifting — its clock stepped (reboot, firmware jump) inside the
+#: window, and trusting any single fit for it would smear the timeline.
+DEFAULT_STABILITY_TOLERANCE_US = 50_000.0
+
+#: Quarantine reason strings (values of ``BootstrapResult.quarantined``).
+QUARANTINE_NO_REFERENCES = "no-references"
+QUARANTINE_UNSTABLE_CLOCK = "unstable-clock-fit"
 
 #: Absolute arrival coordinate of a reference set's first sighting:
 #: ``(position of the trace in the input sequence, record index)``.  Being
@@ -84,6 +98,21 @@ class BootstrapResult:
     """Offsets placing every reachable radio on the universal timeline.
 
     ``offsets_us[r]`` is ``T_r``: universal = local + T_r at bootstrap time.
+
+    Degraded-mode fields (all empty on a fully-connected bootstrap):
+    ``quarantined`` maps each radio left off the timeline to *why* —
+    ``"no-references"`` (it shares no usable frame with anyone),
+    ``"sync-island:<k>"`` (it synchronized fine, but only within a
+    reference-graph island disconnected from the primary one), or
+    ``"unstable-clock-fit"`` (its redundant reference edges disagree
+    beyond the stability tolerance — a stepped clock).  ``islands`` lists
+    the connected components of the reference graph in discovery order
+    (the primary island first is *not* guaranteed; it is the largest).
+    ``rejoined`` lists radios that were unreachable in an earlier
+    auto-widen round but gained references when the window grew —
+    the late-rejoin path.  ``unreachable`` remains the plain list of
+    radios without offsets (the union of all quarantine reasons),
+    preserving its historical meaning.
     """
 
     offsets_us: Dict[int, float]
@@ -91,6 +120,10 @@ class BootstrapResult:
     reference_sets_used: int = 0
     reference_frames_seen: int = 0
     window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US
+    quarantined: Dict[int, str] = field(default_factory=dict)
+    islands: List[List[int]] = field(default_factory=list)
+    rejoined: List[int] = field(default_factory=list)
+    widen_rounds: int = 0
 
     @property
     def fully_synchronized(self) -> bool:
@@ -288,6 +321,7 @@ def bootstrap_synchronization(
     auto_widen: bool = True,
     max_window_us: int = 16_000_000,
     strict: bool = False,
+    stability_tolerance_us: float = DEFAULT_STABILITY_TOLERANCE_US,
 ) -> BootstrapResult:
     """Compute bootstrap offsets ``T_i`` for every radio (single-threaded).
 
@@ -300,6 +334,14 @@ def bootstrap_synchronization(
     :class:`SyncPartitionError` (the Section 6 pod-reduction failure)
     instead of returning a partial result.
 
+    Non-strict partitions resolve in degraded mode: the largest
+    reference-graph island becomes the primary timeline and every other
+    radio is quarantined with a reason (``BootstrapResult.quarantined``);
+    radios whose clock fit is internally inconsistent beyond
+    ``stability_tolerance_us`` are evicted as ``unstable-clock-fit``.
+    Radios that were unreachable in an early auto-widen round but gained
+    references when the window grew are reported in ``rejoined``.
+
     This is the reference implementation the channel-sharded coordinator
     (:class:`~repro.core.sync.sharded.ShardedBootstrap`) is held
     bit-identical to; prefer the coordinator for large fleets — it makes
@@ -307,29 +349,43 @@ def bootstrap_synchronization(
     """
     radios = [trace.radio_id for trace in traces]
     current_window = window_us
+    widen_rounds = 0
+    ever_unreachable: Set[int] = set()
     while True:
         sets, order, seen = _collect_reference_sets(traces, current_window)
         shared = _shared_sets(sets)
         family = _select_covering_family(shared, radios, order)
-        offsets, unreachable = _bfs_offsets(radios, family, clock_groups)
+        offsets, unreachable, quarantined, islands = _resolve_offsets(
+            radios, family, clock_groups, stability_tolerance_us
+        )
         if not unreachable or not auto_widen or current_window >= max_window_us:
             if unreachable and strict:
                 raise SyncPartitionError(unreachable)
+            log_quarantine_warning(quarantined, "bootstrap_synchronization")
             return BootstrapResult(
                 offsets_us=offsets,
                 unreachable=unreachable,
                 reference_sets_used=len(family),
                 reference_frames_seen=seen,
                 window_us=current_window,
+                quarantined=quarantined,
+                islands=islands,
+                rejoined=[
+                    r for r in radios
+                    if r in ever_unreachable and r in offsets
+                ],
+                widen_rounds=widen_rounds,
             )
+        ever_unreachable.update(unreachable)
+        widen_rounds += 1
         current_window = min(current_window * 2, max_window_us)
 
 
-def _bfs_offsets(
+def _build_adjacency(
     radios: Sequence[int],
     family: Sequence[Dict[int, int]],
     clock_groups: Iterable[Sequence[int]],
-) -> Tuple[Dict[int, float], List[int]]:
+) -> Dict[int, List[Tuple[int, float]]]:
     # Edge list: radio -> [(other, delta)] with T_other = T_radio + delta.
     # Members are anchored in trace order (the order radios appear in the
     # input sequence) — the deterministic equivalent of the collection
@@ -348,11 +404,15 @@ def _bfs_offsets(
         for a, b in zip(group, group[1:]):
             adjacency[a].append((b, 0.0))
             adjacency[b].append((a, 0.0))
+    return adjacency
 
-    if not radios:
-        return {}, []
-    offsets: Dict[int, float] = {radios[0]: 0.0}
-    queue = deque([radios[0]])
+
+def _offsets_from(
+    start: int, adjacency: Dict[int, List[Tuple[int, float]]]
+) -> Dict[int, float]:
+    """BFS offset propagation from ``start`` (``T_start = 0``)."""
+    offsets: Dict[int, float] = {start: 0.0}
+    queue = deque([start])
     while queue:
         radio = queue.popleft()
         base = offsets[radio]
@@ -360,5 +420,170 @@ def _bfs_offsets(
             if other not in offsets:
                 offsets[other] = base + delta
                 queue.append(other)
+    return offsets
+
+
+def _island_partition(
+    radios: Sequence[int], adjacency: Dict[int, List[Tuple[int, float]]]
+) -> List[List[int]]:
+    """Connected components of the reference graph, in discovery order.
+
+    Components are seeded by scanning ``radios`` in trace order and each
+    component lists its members in BFS discovery order, so the partition
+    is deterministic for any shard merge order (the adjacency lists are
+    themselves trace-order anchored).
+    """
+    islands: List[List[int]] = []
+    assigned: Set[int] = set()
+    for seed in radios:
+        if seed in assigned:
+            continue
+        members = [seed]
+        assigned.add(seed)
+        queue = deque([seed])
+        while queue:
+            radio = queue.popleft()
+            for other, _delta in adjacency.get(radio, ()):
+                if other not in assigned:
+                    assigned.add(other)
+                    members.append(other)
+                    queue.append(other)
+        islands.append(members)
+    return islands
+
+
+def _unstable_radios(
+    offsets: Dict[int, float],
+    adjacency: Dict[int, List[Tuple[int, float]]],
+    tolerance_us: float,
+) -> Set[int]:
+    """Radios whose redundant reference edges contradict their BFS fit.
+
+    The BFS uses a spanning tree of the reference graph; every non-tree
+    edge is a consistency check for free: for an edge ``a -> (b, delta)``
+    the fit predicts ``offsets[b] - offsets[a] == delta`` up to legitimate
+    skew.  A residual beyond ``tolerance_us`` means at least one endpoint's
+    clock stepped inside the window.  A radio is condemned only when the
+    violations are *its* pattern, not a neighbor's: it must have at least
+    one violated edge and violations on at least half its edges.
+    """
+    degree: Dict[int, int] = defaultdict(int)
+    violations: Dict[int, int] = defaultdict(int)
+    for radio, edges in adjacency.items():
+        if radio not in offsets:
+            continue
+        for other, delta in edges:
+            if other not in offsets:
+                continue
+            degree[radio] += 1
+            residual = offsets[other] - offsets[radio] - delta
+            if abs(residual) > tolerance_us:
+                violations[radio] += 1
+    return {
+        radio
+        for radio, bad in violations.items()
+        if bad >= 1 and 2 * bad >= degree[radio]
+    }
+
+
+def _resolve_offsets(
+    radios: Sequence[int],
+    family: Sequence[Dict[int, int]],
+    clock_groups: Iterable[Sequence[int]],
+    stability_tolerance_us: float = DEFAULT_STABILITY_TOLERANCE_US,
+) -> Tuple[Dict[int, float], List[int], Dict[int, str], List[List[int]]]:
+    """Degraded-mode offset resolution: per-island, with quarantine.
+
+    Instead of hard-failing on a partition, synchronize the *largest*
+    island of the reference graph (ties go to the earliest-discovered
+    island, which for a connected graph — or the historical tests' equal
+    splits — reproduces the old BFS-from-``radios[0]`` result exactly)
+    and quarantine everyone else with a reason.  Radios whose clock fit
+    is unstable (see :func:`_unstable_radios`) are evicted and the
+    resolution re-run once without them, so one rebooting radio cannot
+    drag its island's timeline around.
+
+    Returns ``(offsets, unreachable, quarantined, islands)``.
+    """
+    if not radios:
+        return {}, [], {}, []
+    clock_groups = [list(g) for g in clock_groups]
+
+    def resolve(
+        active: Sequence[int],
+        active_family: Sequence[Dict[int, int]],
+        active_clock_groups: Iterable[Sequence[int]],
+    ) -> Tuple[Dict[int, float], List[List[int]], Dict[int, List[Tuple[int, float]]]]:
+        adjacency = _build_adjacency(active, active_family, active_clock_groups)
+        islands = _island_partition(active, adjacency)
+        primary = max(
+            range(len(islands)), key=lambda i: (len(islands[i]), -i)
+        )
+        offsets = _offsets_from(islands[primary][0], adjacency)
+        return offsets, islands, adjacency
+
+    offsets, islands, adjacency = resolve(radios, family, clock_groups)
+
+    unstable = _unstable_radios(offsets, adjacency, stability_tolerance_us)
+    if unstable:
+        # Re-resolve once without the unstable radios.  The family is
+        # re-filtered — not edge-pruned — so two stable radios joined only
+        # through an unstable anchor's reference set stay connected (the
+        # set still covers both; only the bad clock's sample is dropped).
+        active = [r for r in radios if r not in unstable]
+        active_family = []
+        for members in family:
+            kept = {r: ts for r, ts in members.items() if r not in unstable}
+            if len(kept) >= 2:
+                active_family.append(kept)
+        active_groups = [
+            [r for r in group if r not in unstable] for group in clock_groups
+        ]
+        offsets, islands, _ = resolve(active, active_family, active_groups)
+
+    island_of: Dict[int, int] = {}
+    for k, members in enumerate(islands):
+        for radio in members:
+            island_of[radio] = k
+    quarantined: Dict[int, str] = {}
+    for radio in radios:
+        if radio in offsets:
+            continue
+        if radio in unstable:
+            quarantined[radio] = QUARANTINE_UNSTABLE_CLOCK
+        elif len(islands[island_of[radio]]) == 1:
+            quarantined[radio] = QUARANTINE_NO_REFERENCES
+        else:
+            quarantined[radio] = f"sync-island:{island_of[radio]}"
+    unreachable = [r for r in radios if r not in offsets]
+    return offsets, unreachable, quarantined, islands
+
+
+def _bfs_offsets(
+    radios: Sequence[int],
+    family: Sequence[Dict[int, int]],
+    clock_groups: Iterable[Sequence[int]],
+) -> Tuple[Dict[int, float], List[int]]:
+    """Historical single-BFS resolution (from ``radios[0]``, no islands)."""
+    if not radios:
+        return {}, []
+    adjacency = _build_adjacency(radios, family, clock_groups)
+    offsets = _offsets_from(radios[0], adjacency)
     unreachable = [r for r in radios if r not in offsets]
     return offsets, unreachable
+
+
+def log_quarantine_warning(
+    quarantined: Dict[int, str], source: str
+) -> None:
+    """One-line operator-facing warning when radios were left behind."""
+    if not quarantined:
+        return
+    preview = ", ".join(
+        f"{radio}:{reason}" for radio, reason in list(quarantined.items())[:6]
+    )
+    more = "..." if len(quarantined) > 6 else ""
+    logger.warning(
+        "%s: %d radio(s) quarantined off the primary timeline [%s%s]",
+        source, len(quarantined), preview, more,
+    )

@@ -42,15 +42,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...jtrace.io import RadioTrace, StreamingRadioTrace
 from ...jtrace.records import TraceRecord
+from ..faults import RetryPolicy, ShardHealth, map_shards_with_recovery
 from .bootstrap import (
     BootstrapResult,
     DEFAULT_BOOTSTRAP_WINDOW_US,
+    DEFAULT_STABILITY_TOLERANCE_US,
     ShardPayload,
     SyncPartitionError,
     _BootstrapShard,
-    _bfs_offsets,
+    _resolve_offsets,
     _select_covering_family,
     _shared_sets,
+    log_quarantine_warning,
     union_shard_payloads,
 )
 
@@ -62,7 +65,16 @@ def resolve_pool_workers(max_workers: Optional[int], n_shards: int) -> int:
     ``n > 1`` caps the pool.  Never more workers than shards.  This is
     the one policy both sharded stages (bootstrap here, unification in
     :class:`~repro.core.unify.sharded.ShardedUnifier`) resolve through.
+
+    ``0`` and ``1`` are documented serial modes; anything below is a
+    caller bug (a negative pool size has no meaning), rejected loudly
+    rather than silently clamped to serial.
     """
+    if max_workers is not None and max_workers < 0:
+        raise ValueError(
+            f"max_workers must be None (auto), 0/1 (serial) or a positive "
+            f"pool size; got {max_workers}"
+        )
     if n_shards <= 1:
         return 1
     if max_workers is None:
@@ -137,6 +149,9 @@ class ShardedBootstrap:
         window_us: int = DEFAULT_BOOTSTRAP_WINDOW_US,
         auto_widen: bool = True,
         max_window_us: int = 16_000_000,
+        retry_policy: Optional[RetryPolicy] = None,
+        shard_timeout_s: Optional[float] = None,
+        stability_tolerance_us: float = DEFAULT_STABILITY_TOLERANCE_US,
     ) -> None:
         if window_us <= 0:
             raise ValueError("bootstrap window must be positive")
@@ -144,6 +159,20 @@ class ShardedBootstrap:
         self.window_us = window_us
         self.auto_widen = auto_widen
         self.max_window_us = max_window_us
+        if retry_policy is None:
+            retry_policy = RetryPolicy(shard_timeout_s=shard_timeout_s)
+        elif shard_timeout_s is not None:
+            retry_policy = RetryPolicy(
+                max_retries=retry_policy.max_retries,
+                backoff_base_s=retry_policy.backoff_base_s,
+                backoff_multiplier=retry_policy.backoff_multiplier,
+                backoff_cap_s=retry_policy.backoff_cap_s,
+                shard_timeout_s=shard_timeout_s,
+            )
+        self.retry_policy = retry_policy
+        self.stability_tolerance_us = stability_tolerance_us
+        #: Pool-fault ledger for the most recent :meth:`bootstrap` call.
+        self.health = ShardHealth()
 
     # --- internals ---------------------------------------------------------
 
@@ -193,9 +222,11 @@ class ShardedBootstrap:
         Widening rounds ship only the delta since the previous window;
         the returned payloads are per-round and accumulated by the
         caller (arrival indices keep them mergeable in any order).
+        Worker death and missed deadlines are retried / degraded to
+        serial per ``retry_policy`` — results come back in shard order
+        either way (the union is order-blind anyway; this keeps logs and
+        debugging deterministic too).
         """
-        from concurrent.futures import ProcessPoolExecutor
-
         shard_prefixes: List[List[Tuple[int, int, int, List[TraceRecord]]]] = []
         for group in groups:
             prefixes: List[Tuple[int, int, int, List[TraceRecord]]] = []
@@ -209,15 +240,14 @@ class ShardedBootstrap:
                     )
                     positions[pos] = hi
             shard_prefixes.append(prefixes)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_collect_shard_prefixes, prefixes)
-                for prefixes in shard_prefixes
-            ]
-            # Collect in shard order — not completion order — so payload
-            # accumulation is reproducible (the union is order-blind
-            # anyway; this keeps logs and debugging deterministic too).
-            return [future.result() for future in futures]
+        return map_shards_with_recovery(
+            _collect_shard_prefixes,
+            [(prefixes,) for prefixes in shard_prefixes],
+            max_workers=workers,
+            policy=self.retry_policy,
+            health=self.health,
+            label="bootstrap",
+        )
 
     # --- public API --------------------------------------------------------
 
@@ -242,6 +272,9 @@ class ShardedBootstrap:
         clock_groups = [list(g) for g in clock_groups]
         positions = [0] * len(traces)
         window = self.window_us
+        self.health = ShardHealth()
+        widen_rounds = 0
+        ever_unreachable: set = set()
 
         serial_shards: List[_BootstrapShard] = []
         pool_payloads: List[ShardPayload] = []
@@ -266,7 +299,9 @@ class ShardedBootstrap:
             sets, order, seen = union_shard_payloads(payloads)
             shared = _shared_sets(sets)
             family = _select_covering_family(shared, radios, order)
-            offsets, unreachable = _bfs_offsets(radios, family, clock_groups)
+            offsets, unreachable, quarantined, islands = _resolve_offsets(
+                radios, family, clock_groups, self.stability_tolerance_us
+            )
             if (
                 not unreachable
                 or not self.auto_widen
@@ -274,11 +309,21 @@ class ShardedBootstrap:
             ):
                 if unreachable and strict:
                     raise SyncPartitionError(unreachable)
+                log_quarantine_warning(quarantined, "ShardedBootstrap")
                 return BootstrapResult(
                     offsets_us=offsets,
                     unreachable=unreachable,
                     reference_sets_used=len(family),
                     reference_frames_seen=seen,
                     window_us=window,
+                    quarantined=quarantined,
+                    islands=islands,
+                    rejoined=[
+                        r for r in radios
+                        if r in ever_unreachable and r in offsets
+                    ],
+                    widen_rounds=widen_rounds,
                 )
+            ever_unreachable.update(unreachable)
+            widen_rounds += 1
             window = min(window * 2, self.max_window_us)

@@ -27,6 +27,7 @@ import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...jtrace.io import RadioTrace
+from ..faults import RetryPolicy, ShardHealth, map_shards_with_recovery
 from ..sync.bootstrap import BootstrapResult
 from ..sync.sharded import resolve_pool_workers
 from ..sync.skew import ClockTrack
@@ -90,9 +91,24 @@ class ShardedUnifier:
         self,
         unifier: Optional[Unifier] = None,
         max_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        shard_timeout_s: Optional[float] = None,
     ) -> None:
         self.unifier = unifier or Unifier()
         self.max_workers = max_workers
+        if retry_policy is None:
+            retry_policy = RetryPolicy(shard_timeout_s=shard_timeout_s)
+        elif shard_timeout_s is not None:
+            retry_policy = RetryPolicy(
+                max_retries=retry_policy.max_retries,
+                backoff_base_s=retry_policy.backoff_base_s,
+                backoff_multiplier=retry_policy.backoff_multiplier,
+                backoff_cap_s=retry_policy.backoff_cap_s,
+                shard_timeout_s=shard_timeout_s,
+            )
+        self.retry_policy = retry_policy
+        #: Pool-fault ledger for the most recent unification call.
+        self.health = ShardHealth()
 
     # --- internals ---------------------------------------------------------
 
@@ -113,16 +129,20 @@ class ShardedUnifier:
         bootstrap: BootstrapResult,
         workers: int,
     ) -> List[_ShardResult]:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_unify_shard, self.unifier, shard, bootstrap)
-                for shard in shards
-            ]
-            # Collect in shard order — the merge interleaving must not
-            # depend on completion order.
-            return [future.result() for future in futures]
+        # Collect in shard order — the merge interleaving must not depend
+        # on completion order.  Worker death / missed deadlines retry and
+        # degrade to serial in-process merges per ``retry_policy``; the
+        # engine is deterministic, so a shard merged after a crash (or
+        # serially) is jframe-for-jframe what the first attempt would
+        # have produced.
+        return map_shards_with_recovery(
+            _unify_shard,
+            [(self.unifier, shard, bootstrap) for shard in shards],
+            max_workers=workers,
+            policy=self.retry_policy,
+            health=self.health,
+            label="unify",
+        )
 
     # --- public API --------------------------------------------------------
 
@@ -134,6 +154,7 @@ class ShardedUnifier:
         Serial mode is fully lazy; pool mode dispatches the shards eagerly
         (the workers run to completion) and streams the merged result.
         """
+        self.health = ShardHealth()
         if self._pool_budget() <= 1:
             # Serial mode is exactly the Unifier's own streaming path
             # (which partitions internally — no duplicate shard scan).

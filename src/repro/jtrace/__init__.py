@@ -1,6 +1,8 @@
 """Trace format substrate (the jigdump analogue)."""
 
 from .io import (
+    DecodeHealth,
+    ErrorPolicy,
     RadioTrace,
     StreamingRadioTrace,
     iter_trace_records,
@@ -14,6 +16,8 @@ from .io import (
 from .records import RecordKind, TraceRecord, record_from_bytes, record_to_bytes
 
 __all__ = [
+    "DecodeHealth",
+    "ErrorPolicy",
     "RadioTrace",
     "StreamingRadioTrace",
     "iter_trace_records",

@@ -10,21 +10,43 @@ counts and the local-time range.
 Reading is streaming: :func:`iter_trace_records` context-manages the file
 handle and decodes chunk by chunk in constant memory, so day-long traces
 never materialize a decompressed byte blob.
+
+Decoding is fault-tolerant on request.  Real day-scale captures get
+damaged — a radio loses power mid-record, a disk sector corrupts, a gzip
+stream is cut — and a ~190-radio merge must not abort because one vantage
+point is imperfect.  Every reader accepts an :class:`ErrorPolicy`:
+
+* ``strict`` (default) — any damage raises ``ValueError``, exactly the
+  historical behavior;
+* ``skip`` — corrupt or truncated records are skipped: the decoder
+  resynchronizes to the next plausible record boundary (structural header
+  probe plus a successor-header confirmation), keeps decoding, and counts
+  what it lost in a :class:`DecodeHealth`;
+* ``drop-trace`` — a damaged trace contributes nothing: the first decode
+  error discards the whole trace (counted in the health), so one rotten
+  capture cannot pollute a run that wants only pristine inputs.
+
+Clean files decode byte-identically under every policy.
 """
 
 from __future__ import annotations
 
+import enum
 import gzip
 import json
+import zlib
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from itertools import islice, pairwise
 
 from .records import (
     TraceRecord,
+    _HEADER,
+    header_timestamp_us,
+    probe_record_header,
     record_from_bytes,
     record_span,
     record_to_bytes,
@@ -32,6 +54,63 @@ from .records import (
 
 #: Chunk size for streaming decompression (1 MiB of decompressed bytes).
 _READ_CHUNK_BYTES = 1 << 20
+
+
+class ErrorPolicy(str, enum.Enum):
+    """What a trace reader does when it meets damaged bytes."""
+
+    STRICT = "strict"
+    SKIP = "skip"
+    DROP_TRACE = "drop-trace"
+
+
+#: Accepted spellings for reader ``policy`` arguments.
+PolicyLike = Union[ErrorPolicy, str]
+
+
+@dataclass
+class DecodeHealth:
+    """What tolerant decoding observed (and lost) on one or more traces.
+
+    ``records_skipped`` counts *resynchronization events*: each is one
+    stretch of damaged bytes hiding at least one record.  ``bytes_resynced``
+    is the exact number of bytes scanned past while hunting for the next
+    record boundary, so the two together bound the loss from both sides.
+    """
+
+    records_decoded: int = 0
+    records_skipped: int = 0
+    bytes_resynced: int = 0
+    truncated_tails: int = 0
+    truncated_tail_bytes: int = 0
+    stream_errors: int = 0
+    traces_dropped: int = 0
+
+    def merge(self, other: "DecodeHealth") -> None:
+        """Fold another trace's counters into this aggregate."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def clean(self) -> bool:
+        """True when decoding saw no damage at all."""
+        return not (
+            self.records_skipped
+            or self.bytes_resynced
+            or self.truncated_tails
+            or self.stream_errors
+            or self.traces_dropped
+        )
+
+    def summary(self) -> str:
+        return (
+            f"decoded={self.records_decoded} skipped={self.records_skipped} "
+            f"resynced_bytes={self.bytes_resynced} "
+            f"truncated_tails={self.truncated_tails} "
+            f"tail_bytes={self.truncated_tail_bytes} "
+            f"stream_errors={self.stream_errors} "
+            f"dropped_traces={self.traces_dropped}"
+        )
 
 
 def _meta_path(data_path: Path) -> Path:
@@ -120,9 +199,14 @@ class StreamingRadioTrace:
         radio_id: int,
         channel: int,
         source: Iterable[TraceRecord],
+        decode_health: Optional[DecodeHealth] = None,
     ) -> None:
         self.radio_id = radio_id
         self.channel = channel
+        #: Populated as the source decodes (fully accurate once drained).
+        self.decode_health = (
+            decode_health if decode_health is not None else DecodeHealth()
+        )
         self._source: Optional[Iterator[TraceRecord]] = iter(source)
         self._buffer: List[TraceRecord] = []
         self._last_ts: Optional[int] = None
@@ -227,26 +311,52 @@ class StreamingRadioTrace:
         return self
 
 
-def open_trace_stream(data_path: Path) -> StreamingRadioTrace:
+def open_trace_stream(
+    data_path: Path, policy: PolicyLike = ErrorPolicy.STRICT
+) -> StreamingRadioTrace:
     """Open one radio's trace for lazy, single-read consumption.
 
     Identity (radio id, channel) comes from the metadata sidecar; records
     decode on demand through the replay tee, so a pipeline run reads the
     compressed file exactly once — the bootstrap prepass pulls only its
     examination window before unification picks up the buffer.
+
+    Damage handling follows ``policy``; what tolerant decoding skipped is
+    tallied on the stream's ``decode_health`` as the source is consumed
+    (fully accurate once the trace is drained).  ``drop-trace`` decodes
+    eagerly — a lazily-dropped trace would vanish halfway through the
+    merge — so a damaged file becomes an empty stream up front and the
+    radio is simply absent from the run.
     """
     data_path = Path(data_path)
+    policy = ErrorPolicy(policy)
     meta = json.loads(_meta_path(data_path).read_text())
+    decode_health = DecodeHealth()
+    source: Iterable[TraceRecord]
+    if policy is ErrorPolicy.DROP_TRACE:
+        try:
+            source = list(
+                iter_trace_records(
+                    data_path, policy=policy, health=decode_health
+                )
+            )
+        except _TraceDamage:
+            source = []
+            decode_health.traces_dropped += 1
+    else:
+        source = iter_trace_records(data_path, policy=policy, health=decode_health)
     return StreamingRadioTrace(
-        meta["radio_id"], meta["channel"], iter_trace_records(data_path)
+        meta["radio_id"], meta["channel"], source, decode_health=decode_health
     )
 
 
-def open_trace_streams(directory: Path) -> List[StreamingRadioTrace]:
+def open_trace_streams(
+    directory: Path, policy: PolicyLike = ErrorPolicy.STRICT
+) -> List[StreamingRadioTrace]:
     """Lazily open every trace in a directory (sorted by radio id)."""
     directory = Path(directory)
     return [
-        open_trace_stream(path)
+        open_trace_stream(path, policy=policy)
         for path in sorted(directory.glob("radio_*.jtr.gz"))
     ]
 
@@ -270,8 +380,110 @@ def write_trace(trace: RadioTrace, directory: Path) -> Path:
     return data_path
 
 
+def _scan_boundary(
+    buffer: bytes, offset: int, last_ts: Optional[int], at_eof: bool
+) -> Tuple[int, bool]:
+    """Find the next plausible record boundary at or after ``offset``.
+
+    Returns ``(position, confirmed)``.  ``confirmed`` means a structurally
+    plausible record starts at ``position`` *and* is corroborated — its
+    successor header also probes plausible, or the record ends exactly at
+    a completed stream.  Unconfirmed means scanning must resume at
+    ``position`` once more data arrives (bytes before it are definitively
+    not boundaries).
+    """
+    size = _HEADER.size
+    n = len(buffer)
+    p = offset
+    while p + size <= n:
+        if probe_record_header(buffer, p, last_ts):
+            span = record_span(buffer, p)
+            end = p + span
+            if end + size <= n:
+                if probe_record_header(buffer, end, header_timestamp_us(buffer, p)):
+                    return p, True
+                # Mis-framed candidate (its successor is implausible):
+                # keep scanning.
+            elif at_eof:
+                if end <= n:
+                    return p, True
+                # Candidate runs past the truncated tail: not a record.
+            else:
+                return p, False  # plausible, but needs more data to confirm
+        p += 1
+    return p, False
+
+
+def _strict_chunks(data_path: Path, chunk_bytes: int) -> Iterator[bytes]:
+    """Decompressed chunks via ``gzip``; damage raises ``ValueError``."""
+    with gzip.open(data_path, "rb") as fh:
+        while True:
+            try:
+                chunk = fh.read(chunk_bytes)
+            except (EOFError, OSError, zlib.error) as exc:
+                raise ValueError(
+                    f"corrupt or truncated compressed stream in "
+                    f"{data_path}: {exc}"
+                ) from exc
+            if not chunk:
+                return
+            yield chunk
+
+
+def _tolerant_chunks(
+    data_path: Path,
+    chunk_bytes: int,
+    policy: ErrorPolicy,
+    health: DecodeHealth,
+) -> Iterator[bytes]:
+    """Decompressed chunks that salvage everything before stream damage.
+
+    ``gzip.GzipFile.read`` discards whatever one call decompressed before
+    hitting a truncation or CRC error, so the tolerant path drives
+    ``zlib.decompressobj`` directly: every byte successfully inflated is
+    yielded before the error is reported.  Damage counts one
+    ``stream_errors`` (or drops the trace under ``drop-trace``) and ends
+    the stream — the record-level decoder then treats what it has as a
+    truncated capture.
+    """
+    obj = zlib.decompressobj(wbits=47)  # auto-detect gzip/zlib headers
+    fed = False
+    with open(data_path, "rb") as fh:
+        while True:
+            comp = fh.read(chunk_bytes)
+            if not comp:
+                break
+            fed = True
+            while comp:
+                try:
+                    out = obj.decompress(comp)
+                except zlib.error as exc:
+                    if policy is ErrorPolicy.DROP_TRACE:
+                        raise _TraceDamage(data_path) from exc
+                    health.stream_errors += 1
+                    return
+                if out:
+                    yield out
+                comp = b""
+                if obj.eof and obj.unused_data:
+                    # Concatenated gzip members: restart on the remainder.
+                    comp = obj.unused_data
+                    obj = zlib.decompressobj(wbits=47)
+    tail = obj.flush()
+    if tail:
+        yield tail
+    if fed and not obj.eof:
+        # The file ended before the compressed stream did (capture cut).
+        if policy is ErrorPolicy.DROP_TRACE:
+            raise _TraceDamage(data_path)
+        health.stream_errors += 1
+
+
 def iter_trace_records(
-    data_path: Path, chunk_bytes: int = _READ_CHUNK_BYTES
+    data_path: Path,
+    chunk_bytes: int = _READ_CHUNK_BYTES,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    health: Optional[DecodeHealth] = None,
 ) -> Iterator[TraceRecord]:
     """Stream-decode records from a compressed trace file.
 
@@ -279,47 +491,162 @@ def iter_trace_records(
     ``chunk_bytes`` of decompressed data plus one partial record is
     buffered at a time, so day-long traces decode in constant memory
     instead of materializing the whole decompressed stream.
+
+    ``policy`` selects damage handling (see :class:`ErrorPolicy`).  Under
+    ``skip``, a corrupt record triggers resynchronization: the decoder
+    scans forward for the next byte offset at which a structurally
+    plausible header starts *and* its successor header is also plausible
+    (or the record ends a completed stream), counts the skipped bytes in
+    ``health``, and keeps decoding.  A capture cut mid-record — radio
+    power loss, or a gzip stream truncated before its end marker — yields
+    every complete record and reports the partial tail via the health
+    counters instead of raising mid-iteration.  ``drop-trace`` stops at
+    the first damage and re-raises a sentinel the trace-level readers use
+    to discard the whole trace.  Clean files decode identically under
+    every policy.
     """
-    with gzip.open(Path(data_path), "rb") as fh:
-        buffer = b""
+    policy = ErrorPolicy(policy)
+    if health is None:
+        health = DecodeHealth()
+    data_path = Path(data_path)
+    strict = policy is ErrorPolicy.STRICT
+
+    if strict:
+        chunk_iter: Iterator[bytes] = _strict_chunks(data_path, chunk_bytes)
+    else:
+        chunk_iter = _tolerant_chunks(data_path, chunk_bytes, policy, health)
+
+    buffer = b""
+    offset = 0
+    last_ts: Optional[int] = None
+    syncing = False
+    at_eof = False
+    while not at_eof:
+        chunk = next(chunk_iter, b"")
+        at_eof = not chunk
+        buffer = buffer[offset:] + chunk
         offset = 0
         while True:
-            chunk = fh.read(chunk_bytes)
-            if not chunk:
-                break
-            buffer = buffer[offset:] + chunk
-            offset = 0
-            while True:
+            if syncing:
+                pos, confirmed = _scan_boundary(
+                    buffer, offset, last_ts, at_eof
+                )
+                health.bytes_resynced += pos - offset
+                offset = pos
+                if not confirmed:
+                    break  # need more data (or: tail handled below)
+                syncing = False
+            if strict:
                 span = record_span(buffer, offset)
                 if span is None or offset + span > len(buffer):
                     break  # partial record: wait for the next chunk
                 record, offset = record_from_bytes(buffer, offset)
+                health.records_decoded += 1
                 yield record
-        if offset < len(buffer):
+                continue
+            # Tolerant path: probe before trusting the header framing,
+            # so a corrupted snap_len cannot stall the stream, and
+            # enforce local-time order (capture files are written in
+            # order; a backwards timestamp is damage, and letting it
+            # through would poison the single-read merge downstream).
+            if len(buffer) - offset < _HEADER.size:
+                break  # partial header: wait for the next chunk
+            if not probe_record_header(buffer, offset, last_ts):
+                if policy is ErrorPolicy.DROP_TRACE:
+                    raise _TraceDamage(data_path)
+                health.records_skipped += 1
+                syncing = True
+                continue
+            span = record_span(buffer, offset)
+            if offset + span > len(buffer):
+                if not at_eof:
+                    break  # partial record: wait for the next chunk
+                # Plausible header but the stream ends mid-record:
+                # that is the truncated tail, handled below.
+                break
+            try:
+                record, offset = record_from_bytes(buffer, offset)
+            except ValueError:
+                if policy is ErrorPolicy.DROP_TRACE:
+                    raise _TraceDamage(data_path)
+                health.records_skipped += 1
+                syncing = True
+                continue
+            health.records_decoded += 1
+            last_ts = record.timestamp_us
+            yield record
+    remainder = len(buffer) - offset
+    if remainder:
+        if strict:
             raise ValueError(
-                f"trailing truncated record ({len(buffer) - offset} bytes) "
+                f"trailing truncated record ({remainder} bytes) "
                 f"in {data_path}"
             )
+        if policy is ErrorPolicy.DROP_TRACE:
+            raise _TraceDamage(data_path)
+        if syncing:
+            # Damage ran into the end of the stream: the remnant is
+            # part of the resynchronization loss, not a clean tail.
+            health.bytes_resynced += remainder
+        else:
+            health.truncated_tails += 1
+            health.truncated_tail_bytes += remainder
 
 
-def read_trace(data_path: Path) -> RadioTrace:
-    """Read one radio's trace back from disk."""
+class _TraceDamage(Exception):
+    """Internal sentinel: ``drop-trace`` policy met damaged bytes."""
+
+    def __init__(self, data_path: Path) -> None:
+        self.data_path = data_path
+        super().__init__(f"damaged trace dropped: {data_path}")
+
+
+def read_trace(
+    data_path: Path,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    health: Optional[DecodeHealth] = None,
+) -> RadioTrace:
+    """Read one radio's trace back from disk.
+
+    The index-count cross-check against the metadata sidecar only applies
+    under ``strict`` — tolerant policies expect to decode fewer records
+    than the index promises, and report the difference through ``health``
+    (and the returned trace's ``decode_health`` attribute) instead.
+    Under ``drop-trace`` a damaged file yields an empty trace.
+    """
     data_path = Path(data_path)
+    policy = ErrorPolicy(policy)
     meta = json.loads(_meta_path(data_path).read_text())
-    records = list(iter_trace_records(data_path))
-    if len(records) != meta["records"]:
+    trace_health = DecodeHealth()
+    try:
+        records = list(
+            iter_trace_records(data_path, policy=policy, health=trace_health)
+        )
+    except _TraceDamage:
+        records = []
+        trace_health.traces_dropped += 1
+    if policy is ErrorPolicy.STRICT and len(records) != meta["records"]:
         raise ValueError(
             f"index mismatch: {len(records)} records vs {meta['records']} indexed"
         )
-    return RadioTrace(meta["radio_id"], meta["channel"], records)
+    if health is not None:
+        health.merge(trace_health)
+    trace = RadioTrace(meta["radio_id"], meta["channel"], records)
+    trace.decode_health = trace_health
+    return trace
 
 
 def write_traces(traces: Iterable[RadioTrace], directory: Path) -> List[Path]:
     return [write_trace(trace, directory) for trace in traces]
 
 
-def read_traces(directory: Path) -> List[RadioTrace]:
+def read_traces(
+    directory: Path,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    health: Optional[DecodeHealth] = None,
+) -> List[RadioTrace]:
     directory = Path(directory)
     return [
-        read_trace(path) for path in sorted(directory.glob("radio_*.jtr.gz"))
+        read_trace(path, policy=policy, health=health)
+        for path in sorted(directory.glob("radio_*.jtr.gz"))
     ]

@@ -64,6 +64,66 @@ _HEADER = struct.Struct("<HqBBHhHIIHq")
 # radio_id, timestamp, kind, channel, rate*10, rssi, frame_len, fcs,
 # reserved(truth high bits live in the trailing q), snap_len, truth_txid
 
+#: Valid ``kind`` byte values — the first thing corruption tends to break.
+_VALID_KINDS = frozenset(kind.value for kind in RecordKind)
+
+#: Plausibility bounds for :func:`probe_record_header`.  The snap bound is
+#: the :class:`TraceRecord` constructor's own limit; frame length and rate
+#: are generous envelopes over anything 802.11 can put on the air.
+_MAX_PLAUSIBLE_SNAP = CAPTURE_SNAP_BYTES + 64
+_MAX_PLAUSIBLE_FRAME_LEN = 8192
+_MAX_PLAUSIBLE_RATE_X10 = 6000
+
+
+def probe_record_header(
+    raw: bytes, offset: int = 0, min_timestamp_us: Optional[int] = None
+) -> bool:
+    """Cheap plausibility check: could a record header start at ``offset``?
+
+    Used by the tolerant decoder to detect in-place corruption before
+    trusting a header's ``snap_len`` framing, and to resynchronize to the
+    next record boundary after damage.  The checks are structural (valid
+    ``kind``, bounded snap/frame/rate fields, PHY errors carry no snap)
+    plus local-time monotonicity when ``min_timestamp_us`` is given —
+    capture files are written in local-time order, so a boundary whose
+    timestamp runs backwards is a mis-framed candidate, not a record.
+
+    Returns ``False`` when fewer than a full header's bytes are available.
+    """
+    if len(raw) - offset < _HEADER.size:
+        return False
+    (
+        _radio_id,
+        timestamp,
+        kind,
+        _channel,
+        rate_x10,
+        _rssi,
+        frame_len,
+        _fcs,
+        _duration,
+        snap_len,
+        _truth,
+    ) = _HEADER.unpack_from(raw, offset)
+    if kind not in _VALID_KINDS:
+        return False
+    if snap_len > _MAX_PLAUSIBLE_SNAP:
+        return False
+    if kind == RecordKind.PHY_ERROR.value and snap_len:
+        return False
+    if frame_len > _MAX_PLAUSIBLE_FRAME_LEN:
+        return False
+    if rate_x10 > _MAX_PLAUSIBLE_RATE_X10:
+        return False
+    if min_timestamp_us is not None and timestamp < min_timestamp_us:
+        return False
+    return True
+
+
+def header_timestamp_us(raw: bytes, offset: int = 0) -> int:
+    """The local timestamp of the header at ``offset`` (caller-validated)."""
+    return _HEADER.unpack_from(raw, offset)[1]
+
 
 def record_to_bytes(record: TraceRecord) -> bytes:
     header = _HEADER.pack(

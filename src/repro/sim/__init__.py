@@ -7,10 +7,12 @@ streamed straight into the pipeline (:func:`repro.sim.stream.stream_scenario`).
 """
 
 from .building import Building, Placement, assign_channels, pod_reduction_order
+from .faults import FaultPlan, inject_record_faults, write_faulty_traces
 from .kernel import EventHandle, Kernel
 from .scenario import (
     ClientBehaviorConfig,
     ClockConfig,
+    FaultConfig,
     FleetConfig,
     GeometryConfig,
     ImpairmentConfig,
@@ -45,6 +47,10 @@ __all__ = [
     "StreamedScenario",
     "ClientBehaviorConfig",
     "ClockConfig",
+    "FaultConfig",
+    "FaultPlan",
+    "inject_record_faults",
+    "write_faulty_traces",
     "FleetConfig",
     "GeometryConfig",
     "ImpairmentConfig",

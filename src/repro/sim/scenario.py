@@ -262,6 +262,92 @@ class WorkloadConfig:
         return 1.0 + self.flash_intensity if self.flash_crowd else 1.0
 
 
+#: Capture fault modes understood by the trace writer (see
+#: :mod:`repro.sim.faults`).
+TRUNCATE_MODES = ("record", "stream")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Injected capture-path faults (the robustness harness).
+
+    Everything here models damage *between* the radio's antenna and the
+    trace file the pipeline reads — the failure modes a real day-scale
+    deployment accumulates — so every recovery path in ``jtrace``/``core``
+    is exercised by generated workloads rather than hand-crafted fixtures:
+
+    * ``corrupt_rate`` — per-record probability that the encoded record's
+      header bytes are smashed on the way to disk (disk/DMA corruption;
+      exercises the skip-policy resynchronization scanner);
+    * ``truncate_radios`` — this many radios' trace files are cut at
+      ``truncate_at_fraction`` of the run: ``"record"`` mode cuts the
+      decompressed byte stream mid-record (radio power loss), ``"stream"``
+      mode chops the compressed file itself (incomplete flush at
+      collection time);
+    * ``blackout_radios`` — this many radios go dark (capture nothing) for
+      ``blackout_duration_fraction`` of the run starting at
+      ``blackout_start_fraction``, then resume — the radio
+      blackout/reboot-mid-trace fault (the trace stays decodable; the
+      timeline simply has a hole);
+    * ``clock_jump_radios`` — this many radios' capture clocks step by
+      ``clock_jump_us`` at ``clock_jump_at_fraction`` of the run
+      (firmware reboot resetting the TSF; exercises the bootstrap's
+      unstable-clock-fit quarantine when the jump lands inside the
+      examination window).
+
+    All-off defaults mean a scenario with a ``FaultConfig()`` is
+    bit-identical to one without: the component draws nothing from its
+    random stream unless a fault is enabled (the spawn-key discipline of
+    PR 4), and fault radio selection uses the dedicated ``faults`` stream
+    so enabling corruption cannot reshuffle workload draws.
+    """
+
+    corrupt_rate: float = 0.0
+    truncate_radios: int = 0
+    truncate_at_fraction: float = 0.8
+    truncate_mode: str = "record"
+    blackout_radios: int = 0
+    blackout_start_fraction: float = 0.4
+    blackout_duration_fraction: float = 0.2
+    clock_jump_radios: int = 0
+    clock_jump_us: int = 2_000_000
+    clock_jump_at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1]")
+        if self.truncate_radios < 0 or self.blackout_radios < 0:
+            raise ValueError("fault radio counts must be >= 0")
+        if self.clock_jump_radios < 0:
+            raise ValueError("fault radio counts must be >= 0")
+        if self.truncate_mode not in TRUNCATE_MODES:
+            raise ValueError(
+                f"unknown truncate_mode {self.truncate_mode!r} "
+                f"(choose from {TRUNCATE_MODES})"
+            )
+        for name in (
+            "truncate_at_fraction",
+            "blackout_start_fraction",
+            "blackout_duration_fraction",
+            "clock_jump_at_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.clock_jump_radios and self.clock_jump_us == 0:
+            raise ValueError("clock_jump_us must be nonzero when jumps are on")
+
+    @property
+    def any(self) -> bool:
+        """True when at least one fault is enabled."""
+        return bool(
+            self.corrupt_rate > 0
+            or self.truncate_radios
+            or self.blackout_radios
+            or self.clock_jump_radios
+        )
+
+
 #: Component attribute names on :class:`ScenarioConfig`.
 COMPONENT_NAMES = (
     "geometry",
@@ -269,6 +355,7 @@ COMPONENT_NAMES = (
     "behavior",
     "impairments",
     "workload",
+    "faults",
     "clocks",
 )
 
@@ -291,6 +378,7 @@ def _build_flat_routes() -> Dict[str, Tuple[str, str]]:
         ("behavior", ClientBehaviorConfig),
         ("impairments", ImpairmentConfig),
         ("workload", WorkloadConfig),
+        ("faults", FaultConfig),
     ):
         for f in fields(cls):
             if f.name in routes:
@@ -316,6 +404,7 @@ _STREAM_KEYS = {
     "clocks": 6,
     "roam": 7,
     "arrival": 8,
+    "faults": 9,
 }
 
 
@@ -379,6 +468,7 @@ class ScenarioConfig:
     behavior: ClientBehaviorConfig
     impairments: ImpairmentConfig
     workload: WorkloadConfig
+    faults: FaultConfig
     clocks: ClockConfig
 
     def __init__(
@@ -391,6 +481,7 @@ class ScenarioConfig:
         behavior: Optional[ClientBehaviorConfig] = None,
         impairments: Optional[ImpairmentConfig] = None,
         workload: Optional[WorkloadConfig] = None,
+        faults: Optional[FaultConfig] = None,
         clocks: Optional[ClockConfig] = None,
         **flat,
     ) -> None:
@@ -404,6 +495,7 @@ class ScenarioConfig:
             if impairments is not None
             else ImpairmentConfig(),
             "workload": workload if workload is not None else WorkloadConfig(),
+            "faults": faults if faults is not None else FaultConfig(),
         }
         routed: Dict[str, Dict[str, object]] = {}
         for name, value in flat.items():

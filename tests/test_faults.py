@@ -1,0 +1,640 @@
+"""Fault-matrix tests: damaged bytes, dying workers, partitioned clocks.
+
+The robustness contract has three layers, each tested here against
+*ground truth* rather than eyeballed counters:
+
+* **ingest** — corruption and truncation, crossed with every
+  :class:`~repro.jtrace.io.ErrorPolicy`: strict raises, skip
+  resynchronizes and counts exactly what was lost, drop-trace empties
+  the damaged trace;
+* **pool recovery** — a worker killed mid-shard is retried and the run
+  completes; a shard missing its deadline degrades to serial;
+  deterministic worker exceptions still propagate;
+* **degraded sync** — a partitioned reference graph reconstructs the
+  largest island and quarantines the rest with reasons; radios whose
+  references only appear after auto-widen are reported as rejoined;
+  an internally inconsistent clock fit is evicted.
+
+Plus the end-to-end property the whole PR hangs on: the sim fault
+harness's damage shows up, accurately, in ``report.health`` — and with
+an all-off :class:`~repro.sim.scenario.FaultConfig` the output is
+bit-identical to the fault-free pipeline.
+"""
+
+import gzip
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.faults import (
+    HealthReport,
+    RetryPolicy,
+    ShardHealth,
+    map_shards_with_recovery,
+)
+from repro.core.pipeline import JigsawPipeline
+from repro.core.sync.bootstrap import (
+    QUARANTINE_NO_REFERENCES,
+    QUARANTINE_UNSTABLE_CLOCK,
+    bootstrap_synchronization,
+)
+from repro.core.sync.sharded import ShardedBootstrap, resolve_pool_workers
+from repro.core.unify.sharded import ShardedUnifier
+from repro.core.unify.sharded import _unify_shard as _real_unify_shard
+from repro.dot11.address import MacAddress
+from repro.dot11.frame import make_data
+from repro.dot11.serialize import frame_to_bytes
+from repro.jtrace.io import (
+    DecodeHealth,
+    ErrorPolicy,
+    RadioTrace,
+    open_trace_streams,
+    read_trace,
+    write_traces,
+)
+from repro.jtrace.records import RecordKind, TraceRecord, record_to_bytes
+from repro.sim import (
+    FaultConfig,
+    ScenarioConfig,
+    inject_record_faults,
+    write_faulty_traces,
+)
+from repro.sim.runner import run_scenario
+
+pytestmark = pytest.mark.faults
+
+SRC = MacAddress.parse("00:0c:0c:00:00:07")
+DST = MacAddress.parse("00:0a:0a:00:00:07")
+
+_FORK = multiprocessing.get_start_method() == "fork"
+fork_only = pytest.mark.skipif(
+    not _FORK, reason="pool fault tests patch workers via fork inheritance"
+)
+
+
+def record_for(frame, radio_id, ts, channel=1):
+    raw = frame_to_bytes(frame)
+    return TraceRecord(
+        radio_id=radio_id,
+        timestamp_us=ts,
+        kind=RecordKind.VALID,
+        channel=channel,
+        rate_mbps=11.0,
+        rssi_dbm=-55.0,
+        frame_len=len(raw),
+        fcs=int.from_bytes(raw[-4:], "little"),
+        snap=raw[:200],
+        duration_us=100,
+    )
+
+
+def data_frame(seq, body=b"payload"):
+    return make_data(SRC, DST, DST, seq=seq, body=body)
+
+
+# --------------------------------------------------------------------------
+# Ingest: the error-policy matrix over byte-level damage
+# --------------------------------------------------------------------------
+
+
+def _write_single_trace(tmp_path, n_records=40):
+    """One trace on disk plus its records and their encoded byte sizes."""
+    records = [
+        record_for(data_frame(seq=i + 1), 1, 1000 * (i + 1))
+        for i in range(n_records)
+    ]
+    trace = RadioTrace(1, 1, records)
+    (path,) = write_traces([trace], tmp_path)
+    sizes = [len(record_to_bytes(r)) for r in records]
+    return path, records, sizes
+
+
+def _rewrite_blob(path, mutate):
+    """Decompress the trace, apply ``mutate(bytearray)``, recompress."""
+    blob = bytearray(gzip.decompress(path.read_bytes()))
+    blob = mutate(blob)
+    with gzip.open(path, "wb") as fh:
+        fh.write(bytes(blob))
+
+
+def _smash_record(path, sizes, index):
+    """Make record ``index``'s on-disk header implausible and mis-framed."""
+    offset = sum(sizes[:index])
+
+    def mutate(blob):
+        blob[offset + 10] = 0xEE       # invalid kind byte
+        blob[offset + 26] = 0xFF       # absurd snap_len: framing lost
+        blob[offset + 27] = 0xFF
+        return blob
+
+    _rewrite_blob(path, mutate)
+
+
+class TestErrorPolicyMatrix:
+    def test_corruption_strict_raises(self, tmp_path):
+        path, _, sizes = _write_single_trace(tmp_path)
+        _smash_record(path, sizes, 5)
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_corruption_skip_resyncs_and_counts(self, tmp_path):
+        path, records, sizes = _write_single_trace(tmp_path)
+        _smash_record(path, sizes, 5)
+        health = DecodeHealth()
+        trace = read_trace(path, policy="skip", health=health)
+        assert [r.timestamp_us for r in trace.records] == [
+            r.timestamp_us for r in records if r is not records[5]
+        ]
+        assert health.records_decoded == len(records) - 1
+        assert health.records_skipped == 1
+        # The resync scan consumed exactly the smashed record's bytes.
+        assert health.bytes_resynced == sizes[5]
+        assert health.truncated_tails == 0
+        assert not health.clean
+
+    def test_adjacent_corruption_skip(self, tmp_path):
+        path, records, sizes = _write_single_trace(tmp_path)
+        _smash_record(path, sizes, 7)
+        _smash_record(path, sizes, 8)
+        health = DecodeHealth()
+        trace = read_trace(path, policy="skip", health=health)
+        assert len(trace.records) == len(records) - 2
+        assert 1 <= health.records_skipped <= 2
+        assert health.bytes_resynced == sizes[7] + sizes[8]
+
+    def test_corruption_drop_trace(self, tmp_path):
+        path, _, sizes = _write_single_trace(tmp_path)
+        _smash_record(path, sizes, 5)
+        health = DecodeHealth()
+        trace = read_trace(path, policy=ErrorPolicy.DROP_TRACE, health=health)
+        assert len(trace.records) == 0
+        assert health.traces_dropped == 1
+
+    def test_truncated_tail_skip_yields_complete_records(self, tmp_path):
+        path, records, sizes = _write_single_trace(tmp_path)
+        cut = 12  # mid-header of the final record
+        _rewrite_blob(path, lambda blob: blob[: sum(sizes[:-1]) + cut])
+        with pytest.raises(ValueError):
+            read_trace(path)  # strict
+        health = DecodeHealth()
+        trace = read_trace(path, policy="skip", health=health)
+        assert len(trace.records) == len(records) - 1
+        assert health.truncated_tails == 1
+        assert health.truncated_tail_bytes == cut
+        assert health.records_skipped == 0
+
+    def test_gzip_stream_truncation(self, tmp_path):
+        path, records, _ = _write_single_trace(tmp_path)
+        gz = path.read_bytes()
+        path.write_bytes(gz[: len(gz) // 2])
+        with pytest.raises(ValueError):
+            read_trace(path)  # strict
+        health = DecodeHealth()
+        trace = read_trace(path, policy="skip", health=health)
+        # Everything decompressed before the damage is salvaged.
+        assert 0 < len(trace.records) < len(records)
+        assert trace.records[0].timestamp_us == records[0].timestamp_us
+        assert health.stream_errors == 1
+        assert not health.clean
+
+    def test_clean_trace_identical_under_all_policies(self, tmp_path):
+        path, records, _ = _write_single_trace(tmp_path)
+        for policy in ErrorPolicy:
+            health = DecodeHealth()
+            trace = read_trace(path, policy=policy, health=health)
+            assert trace.records == records
+            assert health.clean
+
+
+# --------------------------------------------------------------------------
+# Pool recovery: dying workers, missed deadlines, serial degradation
+# --------------------------------------------------------------------------
+
+#: Flag-file path a crashing worker uses to die exactly once (fork
+#: children inherit the module global, so tests just assign it).
+_CRASH_FLAG = None
+
+
+def _crash_once_worker(flag_path, value):
+    if not os.path.exists(flag_path):
+        open(flag_path, "w").close()
+        os._exit(1)  # hard kill: the pool sees BrokenProcessPool
+    return value * 2
+
+
+def _slow_worker(duration_s, value):
+    time.sleep(duration_s)
+    return value
+
+
+def _raising_worker(value):
+    raise ValueError(f"deterministic failure for {value}")
+
+
+def _crashy_unify_shard(unifier, traces, bootstrap):
+    if _CRASH_FLAG and not os.path.exists(_CRASH_FLAG):
+        open(_CRASH_FLAG, "w").close()
+        os._exit(1)
+    return _real_unify_shard(unifier, traces, bootstrap)
+
+
+class TestPoolWorkerValidation:
+    def test_negative_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            resolve_pool_workers(-1, 4)
+        with pytest.raises(ValueError):
+            ShardedUnifier(max_workers=-2)._worker_count(4)
+
+    def test_zero_and_one_mean_serial(self):
+        assert resolve_pool_workers(0, 4) == 1
+        assert resolve_pool_workers(1, 4) == 1
+
+    def test_never_more_workers_than_shards(self):
+        assert resolve_pool_workers(8, 3) == 3
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(shard_timeout_s=0)
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, backoff_cap_s=0.3
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(5) == pytest.approx(0.3)  # capped
+
+    def test_timeout_knob_threads_through_coordinators(self):
+        for coord in (
+            ShardedUnifier(shard_timeout_s=7.5),
+            ShardedBootstrap(shard_timeout_s=7.5),
+        ):
+            assert coord.retry_policy.shard_timeout_s == 7.5
+        merged = ShardedUnifier(
+            retry_policy=RetryPolicy(max_retries=5), shard_timeout_s=2.0
+        ).retry_policy
+        assert merged.max_retries == 5
+        assert merged.shard_timeout_s == 2.0
+
+
+class TestPoolRecovery:
+    @fork_only
+    def test_worker_crash_is_retried(self, tmp_path):
+        flag = str(tmp_path / "crashed")
+        health = ShardHealth()
+        results = map_shards_with_recovery(
+            _crash_once_worker,
+            [(flag, 3), (flag, 4)],
+            max_workers=2,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            health=health,
+        )
+        assert results == [6, 8]
+        assert health.worker_crashes >= 1
+        assert health.pool_retries >= 1
+        assert health.shards_degraded_serial == 0
+
+    @fork_only
+    def test_timeout_degrades_to_serial(self):
+        health = ShardHealth()
+        slept = []
+        results = map_shards_with_recovery(
+            _slow_worker,
+            [(0.4, 9)],
+            max_workers=2,
+            policy=RetryPolicy(
+                max_retries=1, backoff_base_s=0.01, shard_timeout_s=0.05
+            ),
+            health=health,
+            sleep=slept.append,
+        )
+        assert results == [9]  # the in-process fallback still answers
+        assert health.shard_timeouts == 2  # initial attempt + one retry
+        assert health.shards_degraded_serial == 1
+        assert slept  # backoff was requested (and injected away)
+
+    @fork_only
+    def test_deterministic_exception_propagates(self):
+        health = ShardHealth()
+        with pytest.raises(ValueError, match="deterministic failure"):
+            map_shards_with_recovery(
+                _raising_worker,
+                [(1,)],
+                max_workers=2,
+                policy=RetryPolicy(max_retries=3),
+                health=health,
+            )
+        assert health.pool_retries == 0  # retrying would fail identically
+
+    @fork_only
+    def test_sharded_unifier_survives_worker_death(
+        self, tmp_path, monkeypatch
+    ):
+        global _CRASH_FLAG
+        # Two channels -> two shards -> pool mode with max_workers=2.
+        frames = {1000 * i: data_frame(seq=i) for i in range(1, 6)}
+        traces = []
+        for radio_id, channel in ((0, 1), (1, 1), (2, 6), (3, 6)):
+            trace = RadioTrace(radio_id, channel)
+            for t in sorted(frames):
+                trace.append(record_for(frames[t], radio_id, t, channel))
+            traces.append(trace)
+        bootstrap = bootstrap_synchronization(traces)
+        reference = ShardedUnifier(max_workers=0).unify(traces, bootstrap)
+
+        monkeypatch.setattr(
+            "repro.core.unify.sharded._unify_shard", _crashy_unify_shard
+        )
+        _CRASH_FLAG = str(tmp_path / "unify_crash")
+        try:
+            unifier = ShardedUnifier(
+                max_workers=2,
+                retry_policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            )
+            result = unifier.unify(traces, bootstrap)
+        finally:
+            _CRASH_FLAG = None
+        assert unifier.health.worker_crashes >= 1
+        assert [(j.timestamp_us, j.kind) for j in result.jframes] == [
+            (j.timestamp_us, j.kind) for j in reference.jframes
+        ]
+
+
+# --------------------------------------------------------------------------
+# Degraded sync: islands, quarantine reasons, rejoin, unstable clocks
+# --------------------------------------------------------------------------
+
+
+class TestDegradedSync:
+    def _partitioned_traces(self):
+        """Island A = {0, 1}; island B = {2, 3, 4}; radio 5 hears nothing
+        shared."""
+        frame_a = data_frame(seq=1)
+        frame_b = data_frame(seq=2)
+        lonely = data_frame(seq=3)
+        traces = [
+            RadioTrace(0, 1, [record_for(frame_a, 0, 1000)]),
+            RadioTrace(1, 1, [record_for(frame_a, 1, 1200)]),
+            RadioTrace(2, 1, [record_for(frame_b, 2, 2000)]),
+            RadioTrace(3, 1, [record_for(frame_b, 3, 2100)]),
+            RadioTrace(4, 1, [record_for(frame_b, 4, 2200)]),
+            RadioTrace(5, 1, [record_for(lonely, 5, 1500)]),
+        ]
+        return traces
+
+    def test_largest_island_is_primary(self):
+        result = bootstrap_synchronization(
+            self._partitioned_traces(), auto_widen=False
+        )
+        assert set(result.offsets_us) == {2, 3, 4}
+        assert sorted(result.unreachable) == [0, 1, 5]
+        assert result.quarantined[5] == QUARANTINE_NO_REFERENCES
+        assert result.quarantined[0] == result.quarantined[1]
+        assert result.quarantined[0].startswith("sync-island:")
+        assert sorted(map(sorted, result.islands)) == [
+            [0, 1], [2, 3, 4], [5]
+        ]
+        assert not result.fully_synchronized
+
+    def test_sharded_bootstrap_matches_reference_when_degraded(self):
+        traces = self._partitioned_traces()
+        reference = bootstrap_synchronization(traces, auto_widen=False)
+        for workers in (0, 2):
+            sharded = ShardedBootstrap(
+                max_workers=workers, auto_widen=False
+            ).bootstrap(traces)
+            assert sharded.offsets_us == reference.offsets_us
+            assert sharded.quarantined == reference.quarantined
+            assert sharded.islands == reference.islands
+
+    def test_rejoin_reported_after_auto_widen(self):
+        # The shared frame appears 3 s in — outside the initial window —
+        # so radio 1 is unreachable until the window widens.
+        early = data_frame(seq=1)
+        late = data_frame(seq=2)
+        traces = [
+            RadioTrace(0, 1, [
+                record_for(early, 0, 0),
+                record_for(late, 0, 3_000_000),
+            ]),
+            RadioTrace(1, 1, [record_for(late, 1, 3_000_400)]),
+        ]
+        result = bootstrap_synchronization(traces, auto_widen=True)
+        assert result.fully_synchronized
+        assert result.widen_rounds >= 1
+        assert result.rejoined == [1]
+        sharded = ShardedBootstrap(max_workers=0).bootstrap(traces)
+        assert sharded.rejoined == [1]
+        assert sharded.widen_rounds == result.widen_rounds
+
+    def test_unstable_clock_fit_quarantined(self):
+        # Set A = {0, 1, 2} then set B = {1, 2, 3, 4}; radio 2's clock
+        # jumps 1 s between them, so B's redundant 1-2 edge contradicts
+        # the offsets A established.  Only radio 2 has violations on a
+        # majority of its edges.
+        frame_a = data_frame(seq=1)
+        frame_b = data_frame(seq=2)
+        # Well above the 50 ms stability tolerance, well inside the
+        # examination window.
+        jump = 200_000
+        traces = [
+            RadioTrace(0, 1, [record_for(frame_a, 0, 1000)]),
+            RadioTrace(1, 1, [
+                record_for(frame_a, 1, 1050),
+                record_for(frame_b, 1, 2050),
+            ]),
+            RadioTrace(2, 1, [
+                record_for(frame_a, 2, 1080),
+                record_for(frame_b, 2, 2080 + jump),
+            ]),
+            RadioTrace(3, 1, [record_for(frame_b, 3, 2030)]),
+            RadioTrace(4, 1, [record_for(frame_b, 4, 2040)]),
+        ]
+        result = bootstrap_synchronization(traces, auto_widen=False)
+        assert result.quarantined == {2: QUARANTINE_UNSTABLE_CLOCK}
+        assert set(result.offsets_us) == {0, 1, 3, 4}
+        # With a tolerance above the jump the fit is accepted as skew.
+        lax = bootstrap_synchronization(
+            traces, auto_widen=False, stability_tolerance_us=1_000_000
+        )
+        assert lax.fully_synchronized
+
+
+# --------------------------------------------------------------------------
+# The sim fault-injection harness, end to end
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    config = ScenarioConfig.tiny(seed=11)
+    artifacts = run_scenario(config)
+    return config, artifacts
+
+
+def _faulted_config(faults):
+    # Same seed as ``tiny_run``: the simulation is identical, only the
+    # capture-path damage differs.
+    return ScenarioConfig.tiny(seed=11, faults=faults)
+
+
+class TestFaultInjectionHarness:
+    def test_fault_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(corrupt_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(truncate_radios=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(truncate_mode="confetti")
+        with pytest.raises(ValueError):
+            FaultConfig(blackout_start_fraction=2.0)
+        assert not FaultConfig().any
+        assert FaultConfig(corrupt_rate=0.1).any
+
+    def test_all_off_writes_are_byte_clean(self, tmp_path, tiny_run):
+        config, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        plain_dir = tmp_path / "plain"
+        plain_dir.mkdir()
+        write_traces(traces, plain_dir)
+        fault_dir = tmp_path / "faulted"
+        plan = write_faulty_traces(traces, fault_dir, config)
+        assert not plan.any
+        for trace in traces:
+            name = f"radio_{trace.radio_id:04d}.jtr.gz"
+            a = gzip.decompress((plain_dir / name).read_bytes())
+            b = gzip.decompress((fault_dir / name).read_bytes())
+            assert a == b
+
+    def test_corruption_plan_matches_decode_health(self, tmp_path, tiny_run):
+        _, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        config = _faulted_config(FaultConfig(corrupt_rate=0.05))
+        plan = write_faulty_traces(traces, tmp_path, config)
+        n_corrupt = sum(len(v) for v in plan.corrupted_records.values())
+        assert n_corrupt > 0
+        # Exact loss model: every corrupted record is lost, plus any good
+        # record sandwiched between two corrupted ones (resync confirms a
+        # candidate boundary by probing its successor header, so the
+        # sandwiched record's boundary can never confirm).
+        n_lost = 0
+        for radio, hit in plan.corrupted_records.items():
+            hit_set = set(hit)
+            lost = set(hit) | {
+                j for j in range(max(hit))
+                if j - 1 in hit_set and j + 1 in hit_set
+            }
+            n_lost += len(lost)
+        health = DecodeHealth()
+        total = 0
+        for stream in open_trace_streams(tmp_path, policy="skip"):
+            records = list(stream)
+            total += len(records)
+            health.merge(stream.decode_health)
+        assert total == sum(len(t) for t in traces) - n_lost
+        assert 1 <= health.records_skipped <= n_corrupt
+        with pytest.raises(ValueError):
+            for stream in open_trace_streams(tmp_path, policy="strict"):
+                list(stream)
+
+    def test_blackout_and_clock_jump_plans(self, tiny_run):
+        _, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        config = _faulted_config(
+            FaultConfig(blackout_radios=1, clock_jump_radios=1)
+        )
+        faulted, plan = inject_record_faults(traces, config)
+        assert len(plan.blackouts) == 1 and len(plan.clock_jumps) == 1
+        by_id = {t.radio_id: t for t in traces}
+        new_by_id = {t.radio_id: t for t in faulted}
+        (radio, (start, end)), = plan.blackouts.items()
+        dropped = plan.blackout_dropped[radio]
+        assert dropped > 0
+        assert len(new_by_id[radio]) == len(by_id[radio]) - dropped
+        assert not any(
+            start <= r.timestamp_us < end for r in new_by_id[radio].records
+        )
+        (radio, (cut, jump)), = plan.clock_jumps.items()
+        old = by_id[radio].records
+        new = new_by_id[radio].records
+        for o, n in zip(old, new):
+            expect = o.timestamp_us + (jump if o.timestamp_us >= cut else 0)
+            assert n.timestamp_us == expect
+
+    def test_record_truncation_reported_as_tail(self, tmp_path, tiny_run):
+        _, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        config = _faulted_config(FaultConfig(truncate_radios=1))
+        plan = write_faulty_traces(traces, tmp_path, config)
+        (radio,) = plan.truncated
+        pre_counts = {t.radio_id: len(t) for t in traces}
+        health = DecodeHealth()
+        counts = {}
+        for stream in open_trace_streams(tmp_path, policy="skip"):
+            counts[stream.radio_id] = len(list(stream))
+            health.merge(stream.decode_health)
+        assert counts[radio] < pre_counts[radio]
+        assert health.truncated_tails == 1
+        assert health.truncated_tail_bytes > 0
+        untouched = {r: c for r, c in counts.items() if r != radio}
+        assert untouched == {
+            r: c for r, c in pre_counts.items() if r != radio
+        }
+
+    def test_pipeline_health_reflects_injected_faults(
+        self, tmp_path, tiny_run
+    ):
+        _, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        config = _faulted_config(
+            FaultConfig(corrupt_rate=0.05, truncate_radios=1,
+                        blackout_radios=1)
+        )
+        plan = write_faulty_traces(traces, tmp_path, config)
+        clock_groups = [
+            [r.radio_id for r in pod.radios] for pod in artifacts.pods
+        ]
+        streams = open_trace_streams(tmp_path, policy="skip")
+        report = JigsawPipeline(unifier=ShardedUnifier(max_workers=0)).run(
+            streams, clock_groups=clock_groups
+        )
+        assert report.jframes
+        assert report.health.degraded
+        n_corrupt = sum(len(v) for v in plan.corrupted_records.values())
+        assert report.health.ingest.records_skipped >= 1
+        assert report.health.ingest.records_skipped <= n_corrupt
+        assert report.health.ingest.truncated_tails == 1
+        assert "degraded:" in report.summary()
+
+    def test_clean_faultless_run_is_bit_identical(self, tmp_path, tiny_run):
+        config, artifacts = tiny_run
+        traces = artifacts.radio_traces
+        write_faulty_traces(traces, tmp_path, config)
+        clock_groups = [
+            [r.radio_id for r in pod.radios] for pod in artifacts.pods
+        ]
+        baseline = JigsawPipeline(
+            unifier=ShardedUnifier(max_workers=0)
+        ).run(traces, clock_groups=clock_groups)
+        streams = open_trace_streams(tmp_path, policy="skip")
+        replayed = JigsawPipeline(
+            unifier=ShardedUnifier(max_workers=0)
+        ).run(streams, clock_groups=clock_groups)
+        assert not replayed.health.degraded
+        assert "degraded:" not in replayed.summary()
+        assert len(replayed.jframes) == len(baseline.jframes)
+        for a, b in zip(baseline.jframes, replayed.jframes):
+            assert a.timestamp_us == b.timestamp_us
+            assert a.kind == b.kind
+            assert [i.radio_id for i in a.instances] == [
+                i.radio_id for i in b.instances
+            ]
+
+    def test_health_report_summary_shape(self):
+        report = HealthReport()
+        assert not report.degraded
+        report.ingest.records_skipped = 3
+        assert report.degraded
+        assert "skipped=3" in report.summary()
