@@ -1,0 +1,20 @@
+# Developer entry points.  Everything assumes the in-tree layout
+# (PYTHONPATH=src); `make lint` is the same gate CI's static-analysis
+# job runs, minus --require-all so missing optional tools skip locally.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-strict bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.devtools.check
+
+lint-strict:
+	$(PYTHON) -m repro.devtools.check --require-all
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_perf_unifier.py

@@ -18,4 +18,37 @@ Quickstart::
     print(report.summary())
 """
 
+from .core import (
+    HealthReport,
+    JFrame,
+    JigsawPipeline,
+    JigsawReport,
+    MaterializePass,
+    PassContext,
+    PipelinePass,
+    RetryPolicy,
+    run_passes,
+)
+from .jtrace import RadioTrace, RecordKind, StreamingRadioTrace, TraceRecord
+
 __version__ = "1.0.0"
+
+# The headline API, re-exported so the quickstart's imports resolve from
+# the package root.  The package ships a ``py.typed`` marker (PEP 561):
+# downstream type checkers see these names with their full annotations.
+__all__ = [
+    "HealthReport",
+    "JFrame",
+    "JigsawPipeline",
+    "JigsawReport",
+    "MaterializePass",
+    "PassContext",
+    "PipelinePass",
+    "RadioTrace",
+    "RecordKind",
+    "RetryPolicy",
+    "StreamingRadioTrace",
+    "TraceRecord",
+    "run_passes",
+    "__version__",
+]

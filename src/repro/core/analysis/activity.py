@@ -22,7 +22,7 @@ classification is final.  :func:`activity_timeline` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType

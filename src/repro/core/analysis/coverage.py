@@ -17,16 +17,14 @@ Three experiments:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType
 from ...net.wired import WiredTraceRecord
 from ..passes import PassContext, PipelinePass
-from ..pipeline import JigsawReport
 from ..unify.jframe import JFrame
 
 

@@ -13,7 +13,7 @@ feed; :func:`dispersion_cdf` is the batch wrapper over a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

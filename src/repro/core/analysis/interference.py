@@ -26,10 +26,9 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
 
 from ...dot11.address import MacAddress
 from ..link.attempt import TransmissionAttempt

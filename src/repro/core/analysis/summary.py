@@ -15,7 +15,7 @@ and interference passes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ...dot11.address import MacAddress
 from ...dot11.frame import FrameType

@@ -11,7 +11,7 @@ headline: the wireless component dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..passes import PassContext, PipelinePass, run_passes
 from ..pipeline import JigsawReport

@@ -32,11 +32,24 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    cast,
+)
 
 from ..jtrace.io import DecodeHealth
 
 logger = logging.getLogger(__name__)
+
+#: Per-shard result type of :func:`map_shards_with_recovery`.
+ShardResultT = TypeVar("ShardResultT")
 
 
 @dataclass(frozen=True)
@@ -162,7 +175,7 @@ class HealthReport:
 
 
 def map_shards_with_recovery(
-    fn: Callable[..., Any],
+    fn: Callable[..., ShardResultT],
     args_list: Sequence[Tuple[Any, ...]],
     *,
     max_workers: int,
@@ -170,7 +183,7 @@ def map_shards_with_recovery(
     health: Optional[ShardHealth] = None,
     label: str = "shard",
     sleep: Callable[[float], None] = time.sleep,
-) -> List[Any]:
+) -> List[ShardResultT]:
     """Run ``fn(*args)`` per shard in a process pool, surviving worker faults.
 
     Results come back in ``args_list`` order.  Pool-level faults — a
@@ -191,7 +204,7 @@ def map_shards_with_recovery(
         health = ShardHealth()
     health.shards += len(args_list)
 
-    results: List[Any] = [None] * len(args_list)
+    results: List[Optional[ShardResultT]] = [None] * len(args_list)
     pending: List[int] = list(range(len(args_list)))
     attempts = [0] * len(args_list)
     retry_round = 0
@@ -257,7 +270,15 @@ def map_shards_with_recovery(
                             FuturesTimeoutError,
                             BrokenProcessPool,
                         ):
-                            pass
+                            # A future that reports done but whose result
+                            # died with the pool is not salvageable; it
+                            # stays pending for the retry round, which the
+                            # ledger already counts — note it and move on.
+                            logger.debug(
+                                "%s recovery: shard %d unsalvageable from "
+                                "the broken pool; queued for retry",
+                                label, i,
+                            )
                 pending = [i for i in pending if i not in done]
                 retry_round += 1
             else:
@@ -268,4 +289,6 @@ def map_shards_with_recovery(
             # to prevent.
             pool.shutdown(wait=False, cancel_futures=True)
 
-    return results
+    # Every index left the pending list only by being filled in, so the
+    # Optional placeholder type is provably all-ShardResultT here.
+    return cast(List[ShardResultT], results)

@@ -26,11 +26,11 @@ pipeline and the batch path share one implementation.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ...dot11.address import MacAddress
-from ...dot11.constants import SIFS_US, SLOT_TIME_LONG_US
+from ...dot11.constants import SLOT_TIME_LONG_US
 from ...dot11.frame import FrameType
 from ..unify.jframe import JFrame
 

@@ -36,7 +36,13 @@ their pass implementations — one implementation, two consumption styles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # import-light at runtime: passes sits below these layers
+    from .link.attempt import TransmissionAttempt
+    from .link.exchange import FrameExchange
+    from .transport.flows import TcpFlow
+    from .unify.jframe import JFrame
 
 
 @dataclass
@@ -88,13 +94,13 @@ class PipelinePass:
     #: Key under which the result lands in ``report.passes``.
     name: str = "pass"
 
-    def on_jframe(self, jframe) -> None:
+    def on_jframe(self, jframe: JFrame) -> None:
         """One unified jframe, in global timestamp order."""
 
-    def on_attempt(self, attempt) -> None:
+    def on_attempt(self, attempt: TransmissionAttempt) -> None:
         """One sealed transmission attempt, in creation order."""
 
-    def on_exchange(self, exchange) -> None:
+    def on_exchange(self, exchange: FrameExchange) -> None:
         """One closed frame exchange, in ``start_us`` order.
 
         Caveat: in a live pipeline run this fires *before* transport
@@ -105,10 +111,10 @@ class PipelinePass:
         from flows in :meth:`on_flow`/:meth:`finish`, not here.
         """
 
-    def on_flow(self, flow) -> None:
+    def on_flow(self, flow: TcpFlow) -> None:
         """One reconstructed TCP flow, after transport inference."""
 
-    def finish(self, context: Optional[PassContext]):
+    def finish(self, context: Optional[PassContext]) -> Any:
         """Finalize and return this pass's result."""
         return None
 
@@ -124,20 +130,20 @@ class MaterializePass(PipelinePass):
     name = "materialize"
 
     def __init__(self) -> None:
-        self.jframes: List[Any] = []
-        self.attempts: List[Any] = []
-        self.exchanges: List[Any] = []
+        self.jframes: List[JFrame] = []
+        self.attempts: List[TransmissionAttempt] = []
+        self.exchanges: List[FrameExchange] = []
 
-    def on_jframe(self, jframe) -> None:
+    def on_jframe(self, jframe: JFrame) -> None:
         self.jframes.append(jframe)
 
-    def on_attempt(self, attempt) -> None:
+    def on_attempt(self, attempt: TransmissionAttempt) -> None:
         self.attempts.append(attempt)
 
-    def on_exchange(self, exchange) -> None:
+    def on_exchange(self, exchange: FrameExchange) -> None:
         self.exchanges.append(exchange)
 
-    def finish(self, context: Optional[PassContext]):
+    def finish(self, context: Optional[PassContext]) -> None:
         return None
 
 

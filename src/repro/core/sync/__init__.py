@@ -11,8 +11,8 @@ from .bootstrap import (
     union_shard_payloads,
 )
 from .refs import ReferenceKey, content_key, parse_record_frame, reference_key
-from .skew import ClockTrack, DEFAULT_SKEW_ALPHA
 from .sharded import ShardedBootstrap, resolve_pool_workers
+from .skew import ClockTrack, DEFAULT_SKEW_ALPHA
 
 __all__ = [
     "BootstrapResult",

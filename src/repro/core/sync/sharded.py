@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...jtrace.io import RadioTrace, StreamingRadioTrace
 from ...jtrace.records import TraceRecord
@@ -274,7 +274,7 @@ class ShardedBootstrap:
         window = self.window_us
         self.health = ShardHealth()
         widen_rounds = 0
-        ever_unreachable: set = set()
+        ever_unreachable: Set[int] = set()
 
         serial_shards: List[_BootstrapShard] = []
         pool_payloads: List[ShardPayload] = []

@@ -10,7 +10,7 @@ future skew on a per-instance basis."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: EWMA weight for new skew measurements.
 DEFAULT_SKEW_ALPHA = 0.2

@@ -19,7 +19,7 @@ oracle for what actually crossed the link.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...tcp.endpoint import seq_leq, seq_lt

@@ -46,7 +46,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import defaultdict, deque
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...dot11.address import MacAddress
@@ -54,7 +54,7 @@ from ...dot11.serialize import transmitter_from_corrupt_bytes
 from ...jtrace.io import RadioTrace
 from ...jtrace.records import RecordKind, TraceRecord
 from ..sync.bootstrap import BootstrapResult
-from ..sync.refs import ReferenceKey, content_key, parse_record_frame
+from ..sync.refs import ReferenceKey, parse_record_frame
 from ..sync.skew import ClockTrack
 from .jframe import Instance, JFrame, JFrameKind
 
@@ -174,17 +174,20 @@ def partition_traces(
         channels = {trace.channel}
         channels.update(r.channel for r in trace.records)
         trace_channels.append(frozenset(channels))
-        for c in channels:
+        # Union-by-min makes the final roots order-independent, but the
+        # sorted walk keeps every intermediate parent table identical
+        # across runs too — the structure is deterministic by inspection,
+        # not by argument.
+        first = min(channels)
+        for c in sorted(channels):
             parent.setdefault(c, c)
-        first = next(iter(channels))
-        for c in channels:
             ra, rb = find(first), find(c)
             if ra != rb:
                 parent[max(ra, rb)] = min(ra, rb)
 
     shards: Dict[int, List[RadioTrace]] = defaultdict(list)
     for trace, channels in zip(traces, trace_channels):
-        shards[find(next(iter(channels)))].append(trace)
+        shards[find(min(channels))].append(trace)
     return [shards[root] for root in sorted(shards)]
 
 

@@ -20,7 +20,7 @@ records, matching the real split between a frame and its radiotap header.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .address import BROADCAST, MacAddress

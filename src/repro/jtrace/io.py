@@ -37,10 +37,9 @@ import json
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass, field, fields
+from itertools import islice, pairwise
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
-
-from itertools import islice, pairwise
 
 from .records import (
     TraceRecord,

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..dot11.constants import CAPTURE_SNAP_BYTES
 
@@ -155,7 +155,7 @@ def record_span(raw: bytes, offset: int = 0) -> Optional[int]:
     return _HEADER.size + snap_len
 
 
-def record_from_bytes(raw: bytes, offset: int = 0) -> tuple:
+def record_from_bytes(raw: bytes, offset: int = 0) -> Tuple[TraceRecord, int]:
     """Decode one record; returns ``(record, next_offset)``."""
     if len(raw) - offset < _HEADER.size:
         raise ValueError("truncated record header")

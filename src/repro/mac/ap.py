@@ -16,7 +16,7 @@ the production policy (1 hour) against the paper's practical one (1 minute).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

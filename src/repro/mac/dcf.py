@@ -18,9 +18,9 @@ heuristics rely on), and optional CTS-to-self protection for OFDM frames.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
 from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
 
 import numpy as np
 
@@ -41,7 +41,6 @@ from ..dot11.rates import (
     ack_rate_for,
     cts_to_self_duration_field_us,
     data_duration_field_us,
-    frame_airtime_us,
     next_lower_rate,
 )
 from ..dot11.serialize import frame_to_bytes

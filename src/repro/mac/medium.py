@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..dot11.channels import Channel
 from ..dot11.frame import Frame

@@ -12,13 +12,12 @@ non-overlapping channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..dot11.channels import Channel
 from ..dot11.constants import CAPTURE_SNAP_BYTES
-from ..dot11.fcs import fcs32
 from ..jtrace.io import RadioTrace
 from ..jtrace.records import RecordKind, TraceRecord
 from ..mac.medium import Medium, Transmission

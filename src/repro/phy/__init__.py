@@ -11,9 +11,9 @@ from .propagation import (
 from .reception import (
     CARRIER_SENSE_DBM,
     DEFAULT_NOISE_FLOOR_DBM,
-    SENSITIVITY_DBM,
     ReceptionModel,
     ReceptionOutcome,
+    SENSITIVITY_DBM,
     combine_power_dbm,
     decode_probability,
     sinr_db,

@@ -9,6 +9,14 @@ streamed straight into the pipeline (:func:`repro.sim.stream.stream_scenario`).
 from .building import Building, Placement, assign_channels, pod_reduction_order
 from .faults import FaultPlan, inject_record_faults, write_faulty_traces
 from .kernel import EventHandle, Kernel
+from .registry import (
+    REGISTRY,
+    SCALES,
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioFamily,
+    ScenarioRegistry,
+    scenario_config,
+)
 from .scenario import (
     ClientBehaviorConfig,
     ClockConfig,
@@ -19,14 +27,6 @@ from .scenario import (
     ScenarioConfig,
     ScenarioStreams,
     WorkloadConfig,
-)
-from .registry import (
-    REGISTRY,
-    SCALES,
-    SCENARIO_SCHEMA_VERSION,
-    ScenarioFamily,
-    ScenarioRegistry,
-    scenario_config,
 )
 from .workload import FlowArchetype, FlowRequest, generate_flows
 

@@ -16,12 +16,12 @@ nearest surviving pod.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..dot11.channels import ORTHOGONAL_CHANNELS, Channel
+from ..dot11.channels import Channel, ORTHOGONAL_CHANNELS
 from ..phy.propagation import FLOOR_HEIGHT_M, Point, distance_m
 
 

@@ -30,7 +30,7 @@ the property the scenario registry's seed-stability tests hold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -16,8 +16,8 @@ flows deterministic and fast to simulate.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol, Tuple
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the Section 6/7 analysis modules, on a shared small scenario."""
 
-import numpy as np
 import pytest
 
 from repro.core.analysis import (

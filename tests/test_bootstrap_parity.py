@@ -15,10 +15,10 @@ import pytest
 
 from repro.core.sync.bootstrap import (
     SyncPartitionError,
+    _BootstrapShard,
     _select_covering_family,
     bootstrap_synchronization,
     union_shard_payloads,
-    _BootstrapShard,
 )
 from repro.core.sync.sharded import ShardedBootstrap, resolve_pool_workers
 from repro.dot11.address import MacAddress

@@ -1,17 +1,11 @@
 """Tests for link-layer reconstruction: attempts and frame exchanges."""
 
-import pytest
 
-from repro.core.link.attempt import AttemptAssembler, TransmissionAttempt
-from repro.core.link.exchange import ExchangeAssembler, FrameExchange
+from repro.core.link.attempt import AttemptAssembler
+from repro.core.link.exchange import ExchangeAssembler
 from repro.core.unify.jframe import Instance, JFrame, JFrameKind
 from repro.dot11.address import BROADCAST, MacAddress
-from repro.dot11.frame import (
-    Frame,
-    make_ack,
-    make_cts_to_self,
-    make_data,
-)
+from repro.dot11.frame import make_ack, make_cts_to_self, make_data
 from repro.dot11.rates import (
     RATE_11,
     RATE_24,

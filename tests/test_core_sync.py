@@ -1,13 +1,9 @@
 """Unit tests for reference frames, bootstrap sync, and clock tracking."""
 
-import numpy as np
 import pytest
 
-from repro.core.sync.bootstrap import (
-    BootstrapResult,
-    bootstrap_synchronization,
-)
-from repro.core.sync.refs import content_key, parse_record_frame, reference_key
+from repro.core.sync.bootstrap import bootstrap_synchronization
+from repro.core.sync.refs import parse_record_frame, reference_key
 from repro.core.sync.skew import ClockTrack
 from repro.dot11.address import MacAddress
 from repro.dot11.frame import make_ack, make_beacon, make_data

@@ -1,13 +1,12 @@
 """Tests for frame unification: synthetic cases plus simulator integration."""
 
-import numpy as np
 import pytest
 
 from repro.core.sync.bootstrap import BootstrapResult, bootstrap_synchronization
 from repro.core.unify.jframe import JFrameKind
 from repro.core.unify.unifier import Unifier
 from repro.dot11.address import MacAddress
-from repro.dot11.frame import make_ack, make_data
+from repro.dot11.frame import make_data
 from repro.dot11.serialize import frame_to_bytes
 from repro.jtrace.io import RadioTrace
 from repro.jtrace.records import RecordKind, TraceRecord

@@ -14,7 +14,6 @@ from repro.dot11.rates import (
     RATE_5_5,
     RATE_6,
     RATE_11,
-    RATE_12,
     RATE_24,
     RATE_54,
     ack_airtime_us,

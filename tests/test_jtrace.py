@@ -1,6 +1,5 @@
 """Unit tests for trace records and trace file I/O."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

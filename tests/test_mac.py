@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.dot11.address import BROADCAST, MacAddress
+from repro.dot11.address import MacAddress
 from repro.dot11.channels import CHANNEL_1, CHANNEL_6
 from repro.dot11.frame import FrameType, make_data
-from repro.dot11.rates import RATE_1, RATE_11, RATE_54, B_RATES, G_RATES
+from repro.dot11.rates import B_RATES, G_RATES, RATE_1, RATE_11, RATE_54
 from repro.mac.ap import AccessPoint
-from repro.mac.dcf import TxJob
 from repro.mac.medium import Medium
 from repro.mac.station import Station, select_rate
 from repro.phy.propagation import PropagationModel

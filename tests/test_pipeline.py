@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import JigsawPipeline, JFrameKind
+from repro.core import JigsawPipeline
 from repro.core.unify.unifier import Unifier
 from repro.jtrace import read_traces, write_traces
 from repro.sim import ScenarioConfig, run_scenario

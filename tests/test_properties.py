@@ -4,8 +4,8 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.sync.skew import ClockTrack
 from repro.core.sync.bootstrap import bootstrap_synchronization
+from repro.core.sync.skew import ClockTrack
 from repro.dot11.address import MacAddress
 from repro.dot11.frame import make_data
 from repro.dot11.serialize import frame_to_bytes

@@ -21,7 +21,7 @@ from repro.core.analysis import (
 )
 from repro.core.pipeline import JigsawPipeline
 from repro.sim import REGISTRY, SCALES, run_scenario, scenario_config
-from repro.sim.registry import ScenarioFamily, ScenarioRegistry
+from repro.sim.registry import ScenarioRegistry
 from repro.sim.stream import stream_scenario
 
 SEED = 17

@@ -9,7 +9,7 @@ from repro.sim.building import (
     assign_channels,
     pod_reduction_order,
 )
-from repro.sim.scenario import ClockConfig, ScenarioConfig, WorkloadConfig
+from repro.sim.scenario import ScenarioConfig, WorkloadConfig
 from repro.sim.workload import (
     FlowArchetype,
     FlowRequest,

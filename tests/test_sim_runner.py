@@ -1,6 +1,5 @@
 """Integration tests for the end-to-end scenario runner."""
 
-import numpy as np
 import pytest
 
 from repro.dot11.frame import FrameType
