@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-strict bench
+.PHONY: test lint lint-strict bench bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,3 +18,15 @@ lint-strict:
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks/bench_perf_unifier.py
+
+# The exact sequence CI's bench-smoke job runs: snapshot the committed
+# trajectory as the regression baseline, re-measure (the bench suites
+# rewrite BENCH_merge.json in place), then gate the fresh numbers
+# against the snapshot.  Keeping local and CI invocations identical
+# means a perf number reported from either is produced the same way.
+bench-smoke:
+	cp BENCH_merge.json BENCH_baseline.json
+	$(PYTHON) -m pytest -q benchmarks/bench_perf_unifier.py
+	$(PYTHON) -m pytest -q benchmarks/bench_scenarios.py
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_baseline.json --current BENCH_merge.json

@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.experiments.perf import (
     run_bootstrap_performance,
+    run_decode_performance,
     run_memory_profile,
     run_merge_performance,
     run_radio_scaling,
@@ -51,6 +52,44 @@ def test_merge_faster_than_paper_realtime(benchmark, building_run, capsys):
         )
     # Single pass, and faster than real time at the paper's event rate.
     assert paper_factor > 1.0
+
+
+def test_batched_decode_beats_scalar(building_run, capsys):
+    """The batch-vectorized ingest tentpole: chunked structured-array
+    decode plus decode-ahead must beat the scalar per-record pipeline
+    end to end on the building trace — with record- and jframe-identical
+    output.
+
+    Both legs run back to back in the same process on the same files
+    (twice each, alternating, best-of recorded), so the persisted
+    speedups are same-environment ratios (shared-runner absolute times
+    jitter; ratios are what the regression gate guards).  The scalar leg
+    (``vectorized=False, decode_ahead=0``) is the pre-batching pipeline,
+    making ``end_to_end_speedup`` the measured gain over that baseline.
+
+    Defined before the sweep/memory benchmarks on purpose: those runs
+    leave the shared process holding a multi-GB materialized heap, and
+    timing the allocation-heavy batched pipeline on top of it skews the
+    end-to-end legs.
+    """
+    perf = run_decode_performance(building_run)
+    with capsys.disabled():
+        print("\n=== Decode: scalar vs batch-vectorized ingest ===")
+        print(perf.format_table())
+    _update_results(decode=perf.as_dict())
+    assert perf.output_identical
+    # The decode drain itself must be decisively vectorized.
+    assert perf.decode_speedup > 2.0
+    # The win must survive the full pipeline too.  The floor here is
+    # Amdahl-bounded, not 1:1 with the drain speedup: scalar decode was
+    # ~55% of the scalar pipeline, so even a free ingest caps the
+    # end-to-end ratio near 2.2x on one core, and the irreducible cost
+    # of materializing 1.5M Python record objects lands the practical
+    # single-core ratio around 1.7x (decode-ahead recovers more on
+    # multi-core hosts by overlapping the remaining ingest with the
+    # merge).  The regression gate guards the measured value; this
+    # assert is the hard floor below which batching stopped working.
+    assert perf.end_to_end_speedup > 1.4
 
 
 def test_merge_scales_with_radios(building_run, capsys):

@@ -54,7 +54,7 @@ from ...dot11.serialize import transmitter_from_corrupt_bytes
 from ...jtrace.io import RadioTrace
 from ...jtrace.records import RecordKind, TraceRecord
 from ..sync.bootstrap import BootstrapResult
-from ..sync.refs import ReferenceKey, parse_record_frame
+from ..sync.refs import _PARSE_CACHE, ReferenceKey, parse_record_frame
 from ..sync.skew import ClockTrack
 from .jframe import Instance, JFrame, JFrameKind
 
@@ -172,7 +172,15 @@ def partition_traces(
     trace_channels: List[frozenset] = []
     for trace in traces:
         channels = {trace.channel}
-        channels.update(r.channel for r in trace.records)
+        declared = getattr(trace, "channel_set", None)
+        if declared is not None:
+            # File-backed streams carry the writer's channel index in the
+            # metadata sidecar; partitioning off it keeps the partition a
+            # metadata-only pass instead of forcing a full decode before
+            # the merge can even start.
+            channels.update(declared)
+        else:
+            channels.update(r.channel for r in trace.records)
         trace_channels.append(frozenset(channels))
         # Union-by-min makes the final roots order-independent, but the
         # sorted walk keeps every intermediate parent table identical
@@ -191,6 +199,52 @@ def partition_traces(
     return [shards[root] for root in sorted(shards)]
 
 
+class _TraceCursor:
+    """Incremental record access for the merge hot loop.
+
+    Materialized traces index their record list directly.  Streaming
+    traces decode on demand through
+    :meth:`~repro.jtrace.io.StreamingRadioTrace.ensure_index`, so the
+    merge pulls batches as its heap advances instead of draining every
+    trace before the first jframe — the seam that lets decode-ahead
+    reader threads overlap decoding with the merge.
+
+    ``counted`` tracks whether this cursor's records have been added to
+    ``records_in`` yet: materialized traces are counted up front (their
+    length is free), streaming traces at exhaustion (their length is
+    only known once decoded).
+    """
+
+    __slots__ = ("buffer", "ensure", "counted")
+
+    def __init__(self, trace: RadioTrace) -> None:
+        ensure = getattr(trace, "ensure_index", None)
+        if ensure is None:
+            self.buffer: List[TraceRecord] = trace.records
+            self.ensure = None
+            self.counted = True
+        else:
+            self.buffer = trace.replay_buffer
+            self.ensure = ensure
+            self.counted = False
+
+    def get(self, index: int) -> Optional[TraceRecord]:
+        buffer = self.buffer
+        if index < len(buffer):
+            return buffer[index]
+        if self.ensure is not None and self.ensure(index):
+            return buffer[index]
+        return None
+
+    def drained_length(self) -> int:
+        """Total record count, decoding the remainder if necessary."""
+        if self.ensure is not None:
+            index = len(self.buffer)
+            while self.ensure(index):
+                index = len(self.buffer)
+        return len(self.buffer)
+
+
 class _MergeEngine:
     """Streams one channel shard's records into time-ordered jframes.
 
@@ -202,6 +256,11 @@ class _MergeEngine:
     which dominates both the window lag itself and any jitter introduced
     by resynchronization corrections (microseconds against a 10 ms
     window).
+
+    Synchronized streaming traces are consumed *incrementally* through
+    :class:`_TraceCursor`: the heap pulls the next record (and, behind
+    it, the next decoded batch) only as the merge clock reaches it, so
+    decode and merge overlap instead of serializing.
     """
 
     def __init__(
@@ -213,21 +272,35 @@ class _MergeEngine:
         self.unifier = unifier
         self.stats = UnifyStats()
         self.tracks: Dict[int, ClockTrack] = {}
-        self._records: Dict[int, List[TraceRecord]] = {}
+        self._cursors: Dict[int, _TraceCursor] = {}
         offsets = bootstrap.offsets_us
         for trace in traces:
-            self.stats.records_in += len(trace)
             offset = offsets.get(trace.radio_id)
             if offset is None:
-                self.stats.records_skipped_unsynchronized += len(trace)
+                # Quarantined radios contribute nothing; their length is
+                # needed for the ledger, which drains them here exactly
+                # as the materializing engine did.
+                skipped = len(trace)
+                self.stats.records_in += skipped
+                self.stats.records_skipped_unsynchronized += skipped
                 continue
+            displaced = self._cursors.get(trace.radio_id)
+            if displaced is not None and not displaced.counted:
+                # Duplicate radio id: the later trace wins (dict
+                # semantics, unchanged), but the displaced records still
+                # count as engine input like they always did.
+                displaced.counted = True
+                self.stats.records_in += displaced.drained_length()
             self.tracks[trace.radio_id] = ClockTrack(
                 radio_id=trace.radio_id,
                 offset_us=offset,
                 alpha=unifier.skew_alpha,
                 compensate_skew=unifier.compensate_skew,
             )
-            self._records[trace.radio_id] = trace.records
+            cursor = _TraceCursor(trace)
+            if cursor.counted:
+                self.stats.records_in += len(cursor.buffer)
+            self._cursors[trace.radio_id] = cursor
         # Open-group state (channel-local by construction of the shard).
         self.open_by_key: Dict[ReferenceKey, _Group] = {}
         self.open_by_channel: Dict[int, deque] = defaultdict(deque)
@@ -239,7 +312,8 @@ class _MergeEngine:
         """Yield this shard's jframes in (timestamp, finalization) order."""
         unifier = self.unifier
         tracks = self.tracks
-        records_by_radio = self._records
+        cursors = self._cursors
+        stats = self.stats
         search_window = unifier.search_window_us
         gap_limit = unifier.instance_gap_us
         corrupt_attach = unifier.corrupt_attach_us
@@ -259,21 +333,24 @@ class _MergeEngine:
         finalize_stale = self._finalize_stale
         find_attachable = self._find_attachable
         parse_frame = parse_record_frame
+        parse_cache_get = _PARSE_CACHE.get
         kind_valid = RecordKind.VALID
         kind_corrupt = RecordKind.CORRUPT
         heappush, heappop = heapq.heappush, heapq.heappop
 
         # One entry per radio: (est universal, tiebreak, radio, record,
-        # next index, track generation at push time).  The generation lets
-        # the pop skip recomputing ``universal_us`` when no resync touched
-        # the track since the push — the common case by far.
+        # next index, track generation at push time, track, cursor).  The
+        # generation lets the pop skip recomputing ``universal_us`` when
+        # no resync touched the track since the push — the common case by
+        # far.  The trailing track/cursor references sit past the unique
+        # tiebreak, so tuple comparison never reaches them; carrying them
+        # in the entry saves two per-record dict lookups.
         heap: List[tuple] = []
         counter = itertools.count()
-        lengths = {rid: len(recs) for rid, recs in records_by_radio.items()}
-        for radio_id, recs in records_by_radio.items():
-            if recs:
+        for radio_id, cursor in cursors.items():
+            first = cursor.get(0)
+            if first is not None:
                 track = tracks[radio_id]
-                first = recs[0]
                 heappush(
                     heap,
                     (
@@ -283,31 +360,59 @@ class _MergeEngine:
                         first,
                         1,
                         track.generation,
+                        track,
+                        cursor,
                     ),
                 )
+            elif not cursor.counted:
+                cursor.counted = True
 
         #: Finalized jframes awaiting ordered emission: (ts, seq, jframe).
         reorder: List[Tuple[int, int, JFrame]] = []
         #: Merge clock at which the oldest open group goes stale.
         oldest_deadline = _INF
 
+        inst_new = Instance.__new__
         while heap:
-            est, _, radio_id, record, idx, gen = heappop(heap)
-            track = tracks[radio_id]
-            recs = records_by_radio[radio_id]
-            if idx < lengths[radio_id]:
-                nxt = recs[idx]
+            est, _, radio_id, record, idx, gen, track, cursor = heappop(heap)
+            # _TraceCursor.get, inlined: one attribute walk per record
+            # beats a method call at building scale.
+            buffer = cursor.buffer
+            if idx < len(buffer):
+                nxt = buffer[idx]
+            else:
+                ensure = cursor.ensure
+                if ensure is not None and ensure(idx):
+                    nxt = buffer[idx]
+                else:
+                    nxt = None
+            if nxt is not None:
+                # ClockTrack.universal_us, inlined verbatim (the resync
+                # paths still go through the method): one method call per
+                # record is real money at 1.5M records.
+                local = nxt.timestamp_us
                 heappush(
                     heap,
                     (
-                        track.universal_us(nxt.timestamp_us),
+                        local
+                        + track.offset_us
+                        + (
+                            track.skew_ppm * 1e-6 * (local - track.anchor_local_us)
+                            if track.compensate_skew
+                            else 0.0
+                        ),
                         next(counter),
                         radio_id,
                         nxt,
                         idx + 1,
                         track.generation,
+                        track,
+                        cursor,
                     ),
                 )
+            elif not cursor.counted:
+                cursor.counted = True
+                stats.records_in += idx
             # Recompute with the current (possibly resynced) track state;
             # skip when the push-time estimate is still exact.
             if gen == track.generation:
@@ -316,10 +421,23 @@ class _MergeEngine:
                 universal = track.universal_us(record.timestamp_us)
 
             kind = record.kind
-            frame = parse_frame(record) if kind is kind_valid else None
-            instance = Instance(
-                radio_id, record.timestamp_us, universal, record, frame
-            )
+            if kind is kind_valid:
+                # parse_record_frame's hit path, inlined: a valid record
+                # always satisfies its kind/snap preconditions, so a bare
+                # cache probe replaces the call for the common repeat
+                # (control frames and duplicate receptions).
+                cached = parse_cache_get((record.snap, record.frame_len), False)
+                frame = cached if cached is not False else parse_frame(record)
+            else:
+                frame = None
+            # Instance(...), with the dataclass-__init__ call layer
+            # peeled off: five slot stores per record.
+            instance = inst_new(Instance)
+            instance.radio_id = radio_id
+            instance.local_us = record.timestamp_us
+            instance.universal_us = universal
+            instance.record = record
+            instance.frame = frame
 
             if universal > oldest_deadline:
                 oldest_deadline = finalize_stale(universal, reorder)
@@ -370,15 +488,34 @@ class _MergeEngine:
                     corrupt_attach, transmitter=transmitter,
                 )
                 if existing is not None:
-                    existing.add(instance)
+                    existing.instances.append(instance)
+                    existing.radios.add(radio_id)
                     continue
                 group = _Group(instance, channel, None, None, transmitter)
             else:  # PHY_ERROR
-                existing = find_attachable(
-                    instance, open_by_channel[channel], phy_attach,
-                )
-                if existing is not None:
-                    existing.add(instance)
+                # _find_attachable, inlined for its hottest caller (PHY
+                # errors are half the fleet's records): the transmitter
+                # and headless filters are no-ops here, so the body is
+                # just the windowed best-gap scan.  Keep semantics in
+                # lockstep with _find_attachable.
+                best = None
+                best_gap = phy_attach
+                for g in reversed(open_by_channel[channel]):
+                    gap = universal - g.first_universal
+                    if gap > phy_attach:
+                        break  # creation order: older only further away
+                    if gap < 0.0:
+                        gap = -gap
+                        if gap > phy_attach:
+                            continue
+                    if radio_id in g.radios:
+                        continue
+                    if gap <= best_gap:
+                        best = g
+                        best_gap = gap
+                if best is not None:
+                    best.instances.append(instance)
+                    best.radios.add(radio_id)
                     continue
                 group = _Group(instance, channel, None, None, None)
 

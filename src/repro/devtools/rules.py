@@ -16,6 +16,7 @@ saying why.
 from __future__ import annotations
 
 import ast
+import re as _re
 import struct as _struct
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -618,16 +619,23 @@ class StructConsistencyRule(Rule):
     ``struct.Struct``; ``io.py`` frames, probes and resynchronizes off
     its width and field positions.  The rule validates every literal
     format string, and cross-checks each known ``Struct``'s ``pack``
-    arity, ``unpack``/``unpack_from`` target counts and constant
-    subscript indices against the declared field count — the drift a
-    one-field format change would otherwise only reveal as a corrupt
-    trace.
+    arity, ``unpack``/``unpack_from`` target counts, constant subscript
+    indices and ``iter_unpack`` loop-target arity against the declared
+    field count — the drift a one-field format change would otherwise
+    only reveal as a corrupt trace.
+
+    The batch decoder mirrors the header as a numpy structured dtype.
+    A ``NAME_DTYPE`` declaration built from literal ``(field, format)``
+    pairs is paired with the ``NAME`` Struct and must agree on both
+    field count and total byte width — the two declarations describe
+    the same bytes, and a field added to one but not the other shears
+    every batched field off its offset.
     """
 
     name = "struct-consistency"
     summary = (
-        "struct formats parse and pack/unpack arity matches the declared "
-        "field count (jtrace)"
+        "struct formats parse; pack/unpack/iter_unpack arity and paired "
+        "structured dtypes match the declared field count (jtrace)"
     )
 
     _FUNCS = frozenset(
@@ -641,6 +649,13 @@ class StructConsistencyRule(Rule):
             "struct.iter_unpack",
         }
     )
+
+    #: ``NAME_DTYPE`` pairs with the ``NAME`` Struct declaration.
+    _DTYPE_SUFFIX = "_DTYPE"
+
+    #: numpy scalar codes are ``[byteorder]kind width-in-bytes`` for the
+    #: fixed-width integer/float kinds the on-disk header uses.
+    _DTYPE_FORMAT = _re.compile(r"[<>=|]?[iuf](\d+)")
 
     def __init__(self) -> None:
         #: simple name -> (format, field count), collected everywhere.
@@ -684,8 +699,112 @@ class StructConsistencyRule(Rule):
                 yield from self._check_pack_arity(mod, node)
             elif isinstance(node, ast.Assign):
                 yield from self._check_unpack_targets(mod, node)
+                yield from self._check_dtype_pairing(mod, node)
             elif isinstance(node, ast.Subscript):
                 yield from self._check_subscript(mod, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iter_unpack_target(mod, node)
+
+    def _dtype_fields(
+        self, node: ast.Assign
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Literal ``(name, format)`` pairs of a structured-dtype call.
+
+        Matches ``NAME_DTYPE = <anything>.dtype([("field", "<u2"), ...])``
+        regardless of how numpy was imported (the gated-import idiom
+        binds it to a local alias, which import resolution can't see).
+        Returns None when the assignment is not that shape.
+        """
+        value = node.value
+        if not (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.endswith(self._DTYPE_SUFFIX)
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "dtype"
+            and len(value.args) == 1
+            and isinstance(value.args[0], (ast.List, ast.Tuple))
+        ):
+            return None
+        fields: List[Tuple[str, str]] = []
+        for elt in value.args[0].elts:
+            if not (
+                isinstance(elt, ast.Tuple)
+                and len(elt.elts) == 2
+                and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in elt.elts
+                )
+            ):
+                return None  # computed entry: nothing checkable statically
+            fields.append((elt.elts[0].value, elt.elts[1].value))  # type: ignore[union-attr]
+        return fields
+
+    def _check_dtype_pairing(
+        self, mod: SourceModule, node: ast.Assign
+    ) -> Iterator[Finding]:
+        fields = self._dtype_fields(node)
+        if fields is None:
+            return
+        dtype_name = node.targets[0].id  # type: ignore[union-attr]
+        base = dtype_name[: -len(self._DTYPE_SUFFIX)]
+        if base not in self.declared:
+            return
+        fmt, count = self.declared[base]
+        if len(fields) != count:
+            yield self.finding(
+                mod,
+                node,
+                f"{dtype_name} declares {len(fields)} field(s) but its "
+                f"paired Struct {base} format {fmt!r} declares {count}; "
+                "the scalar and batched decoders would frame different "
+                "records",
+            )
+        widths = [
+            self._DTYPE_FORMAT.fullmatch(field_fmt) for _, field_fmt in fields
+        ]
+        if all(widths):
+            itemsize = sum(int(m.group(1)) for m in widths)  # type: ignore[union-attr]
+            try:
+                size = _struct.calcsize(fmt)
+            except _struct.error:
+                return
+            if itemsize != size:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{dtype_name} spans {itemsize} byte(s) but its paired "
+                    f"Struct {base} format {fmt!r} spans {size}; batched "
+                    "header views would shear off the scalar layout",
+                )
+
+    def _check_iter_unpack_target(
+        self, mod: SourceModule, node: ast.For
+    ) -> Iterator[Finding]:
+        call = node.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "iter_unpack"
+        ):
+            return
+        named = self._named_struct(call.func)
+        if named is None:
+            return
+        name, fmt, count = named
+        target = node.target
+        if isinstance(target, (ast.Tuple, ast.List)) and not any(
+            isinstance(e, ast.Starred) for e in target.elts
+        ):
+            if len(target.elts) != count:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{name}.iter_unpack() loop unpacks {len(target.elts)} "
+                    f"name(s) per row but format {fmt!r} declares {count} "
+                    "field(s)",
+                )
 
     def _check_format_literal(
         self, mod: SourceModule, node: ast.Call

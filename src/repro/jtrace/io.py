@@ -31,19 +31,29 @@ Clean files decode byte-identically under every policy.
 
 from __future__ import annotations
 
+import base64
 import enum
 import gzip
 import json
+import os
+import queue
+import struct
+import threading
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass, field, fields
 from itertools import islice, pairwise
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union, cast
 
 from .records import (
+    BATCH_DECODE_AVAILABLE,
+    FramedRun,
+    FramingHint,
+    RecordBatch,
     TraceRecord,
     _HEADER,
+    batch_from_records,
     header_timestamp_us,
     probe_record_header,
     record_from_bytes,
@@ -53,6 +63,11 @@ from .records import (
 
 #: Chunk size for streaming decompression (1 MiB of decompressed bytes).
 _READ_CHUNK_BYTES = 1 << 20
+
+#: Decoded batches a decode-ahead reader thread keeps ready for the
+#: consumer.  Each batch is at most one decompression chunk of records,
+#: so the prefetch window is bounded in bytes, not record counts.
+DECODE_AHEAD_DEPTH = 2
 
 
 class ErrorPolicy(str, enum.Enum):
@@ -115,6 +130,22 @@ class DecodeHealth:
 def _meta_path(data_path: Path) -> Path:
     """The JSON index sidecar belonging to a trace data file."""
     return data_path.with_name(data_path.name.replace(".jtr.gz", ".meta.json"))
+
+
+def _framing_hint_from_meta(
+    meta: dict, vectorized: Optional[bool]
+) -> Optional[FramingHint]:
+    """The sidecar's record-boundary table, when the batch engine runs.
+
+    Older sidecars (no ``snap_lens_b64``) and the scalar engine get
+    ``None``; the batch framing scan then runs unassisted, exactly as
+    before the index existed.
+    """
+    use_batch = BATCH_DECODE_AVAILABLE if vectorized is None else vectorized
+    packed = meta.get("snap_lens_b64")
+    if not use_batch or packed is None:
+        return None
+    return FramingHint.from_packed(base64.b64decode(packed))
 
 
 @dataclass
@@ -197,16 +228,33 @@ class StreamingRadioTrace:
         self,
         radio_id: int,
         channel: int,
-        source: Iterable[TraceRecord],
+        source: Optional[Iterable[TraceRecord]] = None,
         decode_health: Optional[DecodeHealth] = None,
+        *,
+        batch_source: Optional[Iterable[RecordBatch]] = None,
+        channel_set: Optional[FrozenSet[int]] = None,
     ) -> None:
+        if (source is None) == (batch_source is None):
+            raise ValueError(
+                "exactly one of source= (records) or batch_source= "
+                "(decoded batches) must be provided"
+            )
         self.radio_id = radio_id
         self.channel = channel
+        #: Channels the writer's index sidecar declared for this trace
+        #: (None when unknown).  Lets channel partitioning run off the
+        #: metadata instead of forcing a full decode.
+        self.channel_set = channel_set
         #: Populated as the source decodes (fully accurate once drained).
         self.decode_health = (
             decode_health if decode_health is not None else DecodeHealth()
         )
-        self._source: Optional[Iterator[TraceRecord]] = iter(source)
+        self._source: Optional[Iterator[TraceRecord]] = (
+            iter(source) if source is not None else None
+        )
+        self._batches: Optional[Iterator[RecordBatch]] = (
+            iter(batch_source) if batch_source is not None else None
+        )
         self._buffer: List[TraceRecord] = []
         self._last_ts: Optional[int] = None
         self._ordered = True
@@ -226,21 +274,81 @@ class StreamingRadioTrace:
         self._buffer.append(record)
         return record
 
+    def _pull_some(self) -> int:
+        """Extend the replay buffer by one pull; returns records gained.
+
+        Record sources advance one record at a time (simulated sources
+        stay lazily coupled to the kernel); batch sources advance one
+        decoded batch at a time, validating order per batch plus one
+        boundary comparison instead of per record.
+        """
+        if self._batches is not None:
+            while True:
+                batch = next(self._batches, None)
+                if batch is None:
+                    self._batches = None
+                    return 0
+                records = batch.records
+                if records:
+                    break
+            if (
+                self._last_ts is not None
+                and records[0].timestamp_us < self._last_ts
+            ):
+                self._ordered = False
+            if not batch.ts_sorted:
+                self._ordered = False
+            self._last_ts = records[-1].timestamp_us
+            self._buffer.extend(records)
+            return len(records)
+        return 0 if self._pull() is None else 1
+
+    def ensure_index(self, index: int) -> bool:
+        """Pull until the replay buffer holds ``index``; False at EOF.
+
+        The streaming merge consumes traces through this cursor-style
+        accessor so decoding stays incremental — the buffer only ever
+        extends, so indices handed out earlier remain valid.  Consuming
+        by index gates on local-time order exactly like a window prefix
+        does: records already fed to the merge cannot be re-sorted, so
+        disorder discovered here raises instead of silently sorting.
+        """
+        self._prefix_consumed = True
+        buffer = self._buffer
+        while index >= len(buffer):
+            if self._pull_some() == 0:
+                return False
+            if not self._ordered:
+                raise ValueError(self._unordered_message())
+        return True
+
+    def _unordered_message(self) -> str:
+        return (
+            f"trace for radio {self.radio_id} is not in "
+            "local-time order and its window prefix was already "
+            "consumed by the single-read bootstrap; materialize "
+            "it with read_trace()/sorted_by_local_time() instead"
+        )
+
     def buffered_until(self, limit_us: int) -> Tuple[List[TraceRecord], int]:
         """Records with ``timestamp_us <= limit_us``, decoding on demand.
 
         Returns ``(buffer, hi)`` where ``buffer[:hi]`` is the prefix
-        within the limit; at most one record beyond the limit is decoded
-        (the cursor for the next call or the eventual drain).
+        within the limit; record sources decode at most one record
+        beyond the limit (the cursor for the next call or the eventual
+        drain), batch sources at most one batch beyond it.
         """
-        if self._source is None or not self._ordered:
+        if (
+            (self._source is None and self._batches is None)
+            or not self._ordered
+        ):
             records = self.records
             hi = bisect_right(records, limit_us, key=lambda r: r.timestamp_us)
             self._prefix_consumed = True
             return records, hi
         buffer = self._buffer
         while not buffer or buffer[-1].timestamp_us <= limit_us:
-            if self._pull() is None:
+            if self._pull_some() == 0:
                 if not self._ordered:
                     return self.buffered_until(limit_us)
                 self._prefix_consumed = True
@@ -248,11 +356,26 @@ class StreamingRadioTrace:
         if not self._ordered:
             return self.buffered_until(limit_us)
         self._prefix_consumed = True
-        return buffer, len(buffer) - 1
+        return buffer, bisect_right(
+            buffer, limit_us, key=lambda r: r.timestamp_us
+        )
+
+    @property
+    def replay_buffer(self) -> List[TraceRecord]:
+        """The decoded-so-far prefix, extended in place by the cursor.
+
+        Callers pairing this with :meth:`ensure_index` must treat it as
+        append-only: the same list object is returned every time, so an
+        index proven present once stays valid for the trace's lifetime.
+        """
+        return self._buffer
 
     @property
     def records(self) -> List[TraceRecord]:
         """Drain the source (first access only) and return every record."""
+        if self._batches is not None:
+            while self._pull_some():
+                continue  # ordering is validated per batch as it lands
         source = self._source
         if source is not None:
             # Bulk drain at C speed, then validate ordering from the last
@@ -295,7 +418,7 @@ class StreamingRadioTrace:
     @property
     def first_timestamp_us(self) -> Optional[int]:
         buffer = self._buffer
-        if not buffer and self._pull() is None:
+        if not buffer and self._pull_some() == 0:
             return None
         return self._buffer[0].timestamp_us if self._buffer else None
 
@@ -310,8 +433,83 @@ class StreamingRadioTrace:
         return self
 
 
+class _ReaderDone:
+    """Queue sentinel: the decode-ahead worker finished its stream."""
+
+
+_READER_END = _ReaderDone()
+
+
+class _DecodeAheadReader:
+    """Decode-ahead pipelining: a reader thread runs the batch decoder
+    up to ``depth`` batches ahead of the consumer.
+
+    Decompression (which releases the GIL) and batch decode overlap
+    with the merge consuming earlier batches.  The queue is bounded, so
+    an unconsumed trace never decodes more than ``depth`` chunks ahead;
+    exceptions from the decoder (including strict-policy damage) are
+    forwarded and re-raised at the consumer's next pull, preserving the
+    synchronous error contract.  The worker is a daemon and also honors
+    a stop flag, so abandoning the iterator cannot leak a live decode.
+    """
+
+    def __init__(
+        self, batches: Iterator[RecordBatch], depth: int, name: str
+    ) -> None:
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max(1, depth))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._work, args=(batches,), name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _put(self, item: object) -> bool:
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue  # re-check the stop flag, then retry
+        return False
+
+    def _work(self, batches: Iterator[RecordBatch]) -> None:
+        try:
+            for batch in batches:
+                if not self._put(batch):
+                    return
+            self._put(_READER_END)
+        except BaseException as exc:  # forwarded to the consuming thread
+            self._put(exc)
+
+    def __iter__(self) -> Iterator[RecordBatch]:
+        return self
+
+    def __next__(self) -> RecordBatch:
+        if self._stop.is_set():
+            raise StopIteration
+        item = self._queue.get()
+        if isinstance(item, _ReaderDone):
+            self._stop.set()
+            raise StopIteration
+        if isinstance(item, BaseException):
+            self._stop.set()
+            raise item
+        return cast(RecordBatch, item)
+
+    def close(self) -> None:
+        self._stop.set()
+
+    def __del__(self) -> None:
+        self._stop.set()
+
+
 def open_trace_stream(
-    data_path: Path, policy: PolicyLike = ErrorPolicy.STRICT
+    data_path: Path,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    *,
+    vectorized: Optional[bool] = None,
+    decode_ahead: Optional[int] = None,
+    chunk_bytes: int = _READ_CHUNK_BYTES,
 ) -> StreamingRadioTrace:
     """Open one radio's trace for lazy, single-read consumption.
 
@@ -319,6 +517,13 @@ def open_trace_stream(
     decode on demand through the replay tee, so a pipeline run reads the
     compressed file exactly once — the bootstrap prepass pulls only its
     examination window before unification picks up the buffer.
+
+    ``vectorized`` selects the decode engine (None = batch when numpy
+    is available); ``decode_ahead`` is how many decoded batches a
+    per-trace reader thread keeps ready ahead of the consumer (None =
+    :data:`DECODE_AHEAD_DEPTH` on the batch path when a second CPU is
+    available to run the reader, else ``0``; ``0`` disables the thread
+    and decodes inline).
 
     Damage handling follows ``policy``; what tolerant decoding skipped is
     tallied on the stream's ``decode_health`` as the source is consumed
@@ -330,32 +535,79 @@ def open_trace_stream(
     data_path = Path(data_path)
     policy = ErrorPolicy(policy)
     meta = json.loads(_meta_path(data_path).read_text())
+    framing_hint = _framing_hint_from_meta(meta, vectorized)
     decode_health = DecodeHealth()
-    source: Iterable[TraceRecord]
+    channels = meta.get("channels")
+    channel_set = frozenset(channels) if channels is not None else None
+    batch_source: Iterable[RecordBatch]
     if policy is ErrorPolicy.DROP_TRACE:
         try:
-            source = list(
-                iter_trace_records(
-                    data_path, policy=policy, health=decode_health
+            batch_source = list(
+                iter_record_batches(
+                    data_path,
+                    chunk_bytes=chunk_bytes,
+                    policy=policy,
+                    health=decode_health,
+                    vectorized=vectorized,
+                    framing_hint=framing_hint,
                 )
             )
         except _TraceDamage:
-            source = []
+            batch_source = []
             decode_health.traces_dropped += 1
     else:
-        source = iter_trace_records(data_path, policy=policy, health=decode_health)
+        batches: Iterator[RecordBatch] = iter_record_batches(
+            data_path,
+            chunk_bytes=chunk_bytes,
+            policy=policy,
+            health=decode_health,
+            vectorized=vectorized,
+            framing_hint=framing_hint,
+        )
+        if decode_ahead is None:
+            batch_engine = (
+                BATCH_DECODE_AVAILABLE if vectorized is None else vectorized
+            )
+            # Decode-ahead overlaps decompression with the merge only
+            # when there is a second core to run it on; on a single-CPU
+            # host the reader threads just add scheduling contention.
+            decode_ahead = (
+                DECODE_AHEAD_DEPTH
+                if batch_engine and (os.cpu_count() or 1) > 1
+                else 0
+            )
+        if decode_ahead:
+            batches = _DecodeAheadReader(
+                batches, decode_ahead, name=f"decode-ahead:{data_path.name}"
+            )
+        batch_source = batches
     return StreamingRadioTrace(
-        meta["radio_id"], meta["channel"], source, decode_health=decode_health
+        meta["radio_id"],
+        meta["channel"],
+        decode_health=decode_health,
+        batch_source=batch_source,
+        channel_set=channel_set,
     )
 
 
 def open_trace_streams(
-    directory: Path, policy: PolicyLike = ErrorPolicy.STRICT
+    directory: Path,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    *,
+    vectorized: Optional[bool] = None,
+    decode_ahead: Optional[int] = None,
+    chunk_bytes: int = _READ_CHUNK_BYTES,
 ) -> List[StreamingRadioTrace]:
     """Lazily open every trace in a directory (sorted by radio id)."""
     directory = Path(directory)
     return [
-        open_trace_stream(path, policy=policy)
+        open_trace_stream(
+            path,
+            policy=policy,
+            vectorized=vectorized,
+            decode_ahead=decode_ahead,
+            chunk_bytes=chunk_bytes,
+        )
         for path in sorted(directory.glob("radio_*.jtr.gz"))
     ]
 
@@ -368,12 +620,26 @@ def write_trace(trace: RadioTrace, directory: Path) -> Path:
     with gzip.open(data_path, "wb") as fh:
         for record in trace.records:
             fh.write(record_to_bytes(record))
+    snap_lens = [len(record.snap) for record in trace.records]
     meta = {
         "radio_id": trace.radio_id,
         "channel": trace.channel,
         "records": len(trace.records),
         "first_timestamp_us": trace.first_timestamp_us,
         "last_timestamp_us": trace.last_timestamp_us,
+        # Channel index: every channel any record was captured on, so
+        # channel-shard partitioning can group file-backed traces from
+        # the sidecar alone instead of decoding every record first.
+        "channels": sorted({record.channel for record in trace.records}),
+        # Framing index: every record's snap_len, packed little-endian
+        # u16.  The batch decoder rebuilds record boundaries from this
+        # and byte-verifies them against the data stream
+        # (:class:`FramingHint`), replacing its serial framing scan; a
+        # stale or damaged index degrades to the scan, never to wrong
+        # framing.
+        "snap_lens_b64": base64.b64encode(
+            struct.pack(f"<{len(snap_lens)}H", *snap_lens)
+        ).decode("ascii"),
     }
     _meta_path(data_path).write_text(json.dumps(meta, indent=1))
     return data_path
@@ -478,35 +744,63 @@ def _tolerant_chunks(
         health.stream_errors += 1
 
 
-def iter_trace_records(
+def iter_record_batches(
     data_path: Path,
     chunk_bytes: int = _READ_CHUNK_BYTES,
     policy: PolicyLike = ErrorPolicy.STRICT,
     health: Optional[DecodeHealth] = None,
-) -> Iterator[TraceRecord]:
-    """Stream-decode records from a compressed trace file.
+    vectorized: Optional[bool] = None,
+    framing_hint: Optional[FramingHint] = None,
+) -> Iterator[RecordBatch]:
+    """Stream-decode a compressed trace file as batches of records.
 
     The file handle is context-managed (no descriptor leak) and at most
     ``chunk_bytes`` of decompressed data plus one partial record is
     buffered at a time, so day-long traces decode in constant memory
     instead of materializing the whole decompressed stream.
 
+    ``vectorized=None`` (the default) uses the batch engine when numpy
+    is available: complete records are framed per chunk, their headers
+    gathered into one structured array, validated with vectorized
+    predicates, and materialized column-wise (see
+    :class:`~repro.jtrace.records.FramedRun`).  ``vectorized=False``
+    forces the scalar per-record engine (the reference path the parity
+    suites compare against).  Both engines produce identical records,
+    identical :class:`DecodeHealth` ledgers, and raise identical errors
+    at identical stream positions.
+
     ``policy`` selects damage handling (see :class:`ErrorPolicy`).  Under
-    ``skip``, a corrupt record triggers resynchronization: the decoder
-    scans forward for the next byte offset at which a structurally
-    plausible header starts *and* its successor header is also plausible
-    (or the record ends a completed stream), counts the skipped bytes in
-    ``health``, and keeps decoding.  A capture cut mid-record — radio
-    power loss, or a gzip stream truncated before its end marker — yields
-    every complete record and reports the partial tail via the health
+    ``skip``, a corrupt record triggers resynchronization: the batch
+    fast path hands over to the scalar prober at the damaged offset,
+    the prober scans forward for the next byte offset at which a
+    structurally plausible header starts *and* its successor header is
+    also plausible (or the record ends a completed stream), counts the
+    skipped bytes in ``health``, and the batch path re-enters at the
+    confirmed boundary.  A capture cut mid-record — radio power loss,
+    or a gzip stream truncated before its end marker — yields every
+    complete record and reports the partial tail via the health
     counters instead of raising mid-iteration.  ``drop-trace`` stops at
-    the first damage and re-raises a sentinel the trace-level readers use
-    to discard the whole trace.  Clean files decode identically under
-    every policy.
+    the first damage and re-raises a sentinel the trace-level readers
+    use to discard the whole trace.  Clean files decode identically
+    under every policy.
+
+    ``framing_hint`` (batch engine only) is the sidecar's record
+    boundary table: the framing scan fast-forwards over the prefix it
+    can byte-verify and finishes serially from the verified frontier,
+    so hinted decode output is identical on every input — the hint only
+    removes the serial ``snap_len``-hop walk on clean streams.
     """
     policy = ErrorPolicy(policy)
     if health is None:
         health = DecodeHealth()
+    if vectorized is None:
+        use_batch = BATCH_DECODE_AVAILABLE
+    else:
+        use_batch = bool(vectorized)
+        if use_batch and not BATCH_DECODE_AVAILABLE:
+            raise RuntimeError(
+                "vectorized decode requested but numpy is unavailable"
+            )
     data_path = Path(data_path)
     strict = policy is ErrorPolicy.STRICT
 
@@ -517,6 +811,7 @@ def iter_trace_records(
 
     buffer = b""
     offset = 0
+    stream_base = 0  # absolute decompressed-stream position of buffer[0]
     last_ts: Optional[int] = None
     syncing = False
     at_eof = False
@@ -524,6 +819,7 @@ def iter_trace_records(
         chunk = next(chunk_iter, b"")
         at_eof = not chunk
         buffer = buffer[offset:] + chunk
+        stream_base += offset
         offset = 0
         while True:
             if syncing:
@@ -535,19 +831,62 @@ def iter_trace_records(
                 if not confirmed:
                     break  # need more data (or: tail handled below)
                 syncing = False
-            if strict:
+            if use_batch:
+                # Batch fast path: frame every complete record, validate
+                # vectorized, decode the clean prefix in one go.
+                run = FramedRun(buffer, offset, framing_hint, stream_base)
+                total = len(run.offsets)
+                if total:
+                    if strict:
+                        bad = run.strict_violation()
+                    else:
+                        prefix = run.plausible_prefix(last_ts)
+                        bad = None if prefix == total else prefix
+                    count = total if bad is None else bad
+                    if count:
+                        batch = run.decode(count)
+                        health.records_decoded += count
+                        last_batch_ts = batch.last_timestamp_us
+                        if last_batch_ts is not None:
+                            last_ts = last_batch_ts
+                        offset = (
+                            run.offsets[count]
+                            if count < total
+                            else run.next_offset
+                        )
+                        yield batch
+                    if bad is not None:
+                        offset = run.offsets[bad]
+                        if strict:
+                            # Scalar re-decode of the rejected record so
+                            # the exception matches the scalar engine's.
+                            record_from_bytes(buffer, offset)
+                            raise AssertionError(
+                                "batch validation rejected a record the "
+                                "scalar decoder accepts"
+                            )
+                        if policy is ErrorPolicy.DROP_TRACE:
+                            raise _TraceDamage(data_path)
+                        health.records_skipped += 1
+                        syncing = True
+                        continue
+                if strict:
+                    break  # every complete record framed; wait for data
+            elif strict:
                 span = record_span(buffer, offset)
                 if span is None or offset + span > len(buffer):
                     break  # partial record: wait for the next chunk
                 record, offset = record_from_bytes(buffer, offset)
                 health.records_decoded += 1
-                yield record
+                yield batch_from_records([record])
                 continue
-            # Tolerant path: probe before trusting the header framing,
-            # so a corrupted snap_len cannot stall the stream, and
-            # enforce local-time order (capture files are written in
+            # Tolerant remainder: probe before trusting the header
+            # framing, so a corrupted snap_len cannot stall the stream,
+            # and enforce local-time order (capture files are written in
             # order; a backwards timestamp is damage, and letting it
             # through would poison the single-read merge downstream).
+            # On the batch path only damaged or incomplete bytes reach
+            # this point — clean complete records were consumed above.
             if len(buffer) - offset < _HEADER.size:
                 break  # partial header: wait for the next chunk
             if not probe_record_header(buffer, offset, last_ts):
@@ -557,11 +896,10 @@ def iter_trace_records(
                 syncing = True
                 continue
             span = record_span(buffer, offset)
-            if offset + span > len(buffer):
-                if not at_eof:
-                    break  # partial record: wait for the next chunk
-                # Plausible header but the stream ends mid-record:
-                # that is the truncated tail, handled below.
+            if span is None or offset + span > len(buffer):
+                # Partial record: wait for the next chunk — or, at EOF,
+                # a plausible header whose stream ends mid-record: the
+                # truncated tail, handled below.
                 break
             try:
                 record, offset = record_from_bytes(buffer, offset)
@@ -573,7 +911,11 @@ def iter_trace_records(
                 continue
             health.records_decoded += 1
             last_ts = record.timestamp_us
-            yield record
+            # Record-at-a-time yields keep the scalar engine's historical
+            # pull granularity (a bootstrap prefix decodes only what it
+            # inspects); the batch engine never reaches this decode — its
+            # framing consumes every complete record above.
+            yield batch_from_records([record])
     remainder = len(buffer) - offset
     if remainder:
         if strict:
@@ -592,6 +934,30 @@ def iter_trace_records(
             health.truncated_tail_bytes += remainder
 
 
+def iter_trace_records(
+    data_path: Path,
+    chunk_bytes: int = _READ_CHUNK_BYTES,
+    policy: PolicyLike = ErrorPolicy.STRICT,
+    health: Optional[DecodeHealth] = None,
+    vectorized: Optional[bool] = None,
+    framing_hint: Optional[FramingHint] = None,
+) -> Iterator[TraceRecord]:
+    """Stream-decode records from a compressed trace file.
+
+    A flattening wrapper over :func:`iter_record_batches` — same
+    engines, same policies, same errors; see there for the contract.
+    """
+    for batch in iter_record_batches(
+        data_path,
+        chunk_bytes,
+        policy=policy,
+        health=health,
+        vectorized=vectorized,
+        framing_hint=framing_hint,
+    ):
+        yield from batch.records
+
+
 class _TraceDamage(Exception):
     """Internal sentinel: ``drop-trace`` policy met damaged bytes."""
 
@@ -604,6 +970,8 @@ def read_trace(
     data_path: Path,
     policy: PolicyLike = ErrorPolicy.STRICT,
     health: Optional[DecodeHealth] = None,
+    *,
+    vectorized: Optional[bool] = None,
 ) -> RadioTrace:
     """Read one radio's trace back from disk.
 
@@ -612,6 +980,8 @@ def read_trace(
     than the index promises, and report the difference through ``health``
     (and the returned trace's ``decode_health`` attribute) instead.
     Under ``drop-trace`` a damaged file yields an empty trace.
+    ``vectorized`` selects the decode engine as in
+    :func:`iter_trace_records`.
     """
     data_path = Path(data_path)
     policy = ErrorPolicy(policy)
@@ -619,7 +989,13 @@ def read_trace(
     trace_health = DecodeHealth()
     try:
         records = list(
-            iter_trace_records(data_path, policy=policy, health=trace_health)
+            iter_trace_records(
+                data_path,
+                policy=policy,
+                health=trace_health,
+                vectorized=vectorized,
+                framing_hint=_framing_hint_from_meta(meta, vectorized),
+            )
         )
     except _TraceDamage:
         records = []
@@ -643,9 +1019,11 @@ def read_traces(
     directory: Path,
     policy: PolicyLike = ErrorPolicy.STRICT,
     health: Optional[DecodeHealth] = None,
+    *,
+    vectorized: Optional[bool] = None,
 ) -> List[RadioTrace]:
     directory = Path(directory)
     return [
-        read_trace(path, policy=policy, health=health)
+        read_trace(path, policy=policy, health=health, vectorized=vectorized)
         for path in sorted(directory.glob("radio_*.jtr.gz"))
     ]

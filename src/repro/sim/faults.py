@@ -29,8 +29,10 @@ truth rather than eyeballing counters.
 
 from __future__ import annotations
 
+import base64
 import gzip
 import json
+import struct
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
@@ -238,12 +240,22 @@ def write_faulty_traces(
             cut = max(24, int(fc.truncate_at_fraction * len(gz)))
             data_path.write_bytes(gz[: min(cut, len(gz) - 1)])
             plan.truncated[radio] = mode
+        # Like the record count, the framing index describes the
+        # *pre-damage* stream the radio believed it wrote.  On a damaged
+        # file the batch decoder's byte verification rejects the claims
+        # the corruption invalidated and degrades to its serial scan at
+        # exactly those offsets — which is precisely the adversarial
+        # path the fault parity suite pins against the scalar decoder.
+        snap_lens = [len(r.snap) for r in records]
         meta = {
             "radio_id": radio,
             "channel": trace.channel,
             "records": len(records),
             "first_timestamp_us": records[0].timestamp_us if records else None,
             "last_timestamp_us": records[-1].timestamp_us if records else None,
+            "snap_lens_b64": base64.b64encode(
+                struct.pack(f"<{len(snap_lens)}H", *snap_lens)
+            ).decode("ascii"),
         }
         _meta_path(data_path).write_text(json.dumps(meta, indent=1))
     return plan

@@ -293,7 +293,10 @@ class TestSingleReadIngest:
             ]
             traces.append(RadioTrace(radio_id, 1, records))
         write_traces(traces, tmp_path)
-        streams = open_trace_streams(tmp_path)
+        # The record-at-a-time laziness this asserts is a scalar-decoder
+        # property; the batch engine's granularity is one decoded batch
+        # (covered by test_batched_ingest_decodes_by_batch below).
+        streams = open_trace_streams(tmp_path, vectorized=False, decode_ahead=0)
         reference = bootstrap_synchronization(traces)
         result = ShardedBootstrap(max_workers=0).bootstrap(streams)
         assert result_fingerprint(result) == result_fingerprint(reference)
@@ -303,6 +306,29 @@ class TestSingleReadIngest:
             assert len(stream._buffer) < 10
         # Unification later drains the remainder of the same read.
         assert len(streams[0].records) == 29
+
+    def test_batched_ingest_decodes_by_batch(self, tmp_path):
+        """The batch engine's laziness granularity is one chunk-sized
+        batch: a bootstrap prefix pull must not drain a multi-chunk file
+        into the replay buffer."""
+        from repro.jtrace import records as jrecords
+        from repro.jtrace.io import open_trace_streams, write_traces
+
+        if not jrecords.BATCH_DECODE_AVAILABLE:
+            pytest.skip("numpy not available")
+        frame = data_frame(seq=1)
+        records = [
+            record_for(frame, 0, 10_000 * i) for i in range(1, 4001)
+        ]
+        write_traces([RadioTrace(0, 1, records)], tmp_path)
+        # Chunk small enough that the file spans many batches; decode
+        # ahead adds at most `depth` batches of overshoot.
+        stream = open_trace_streams(
+            tmp_path, chunk_bytes=4096, decode_ahead=0
+        )[0]
+        stream.buffered_until(5_000_000)  # first ~500 records
+        assert len(stream._buffer) < 1000
+        assert len(stream.records) == 4000
 
     def test_streaming_pipeline_matches_memory_pipeline(self, tmp_path):
         from repro.core.pipeline import JigsawPipeline

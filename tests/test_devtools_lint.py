@@ -488,6 +488,76 @@ class TestStructConsistency:
         )
         assert result.clean
 
+    def test_flags_iter_unpack_loop_arity_drift(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "repro/jtrace/records.py": STRUCT_DECL,
+                "repro/jtrace/io.py": """
+                from .records import _H
+
+                def drain(buf):
+                    out = []
+                    for a, b, c in _H.iter_unpack(buf):
+                        out.append((a, b, c))
+                    for a, b in _H.iter_unpack(buf):
+                        out.append((a, b))
+                    return out
+                """,
+            },
+            rule=R.StructConsistencyRule(),
+        )
+        assert len(result.findings) == 1
+        assert "iter_unpack() loop unpacks 3 name(s)" in (
+            result.findings[0].message
+        )
+
+    def test_flags_structured_dtype_field_count_drift(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "repro/jtrace/records.py": """
+                import struct
+
+                _np = None
+
+                _H = struct.Struct("<HH")
+                _H_DTYPE = _np.dtype([
+                    ("first", "<u2"),
+                    ("second", "<u2"),
+                    ("third", "<u2"),
+                ])
+                """,
+            },
+            rule=R.StructConsistencyRule(),
+        )
+        # 3 dtype fields vs 2 struct fields, and 6 bytes vs 4.
+        assert len(result.findings) == 2
+        joined = "\n".join(messages(result))
+        assert "declares 3 field(s)" in joined
+        assert "spans 6 byte(s)" in joined
+
+    def test_matching_structured_dtype_allowed(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "repro/jtrace/records.py": """
+                import struct
+
+                _np = None
+
+                _H = struct.Struct("<Hq")
+                _H_DTYPE = _np.dtype([
+                    ("first", "<u2"),
+                    ("second", "<i8"),
+                ])
+                _OTHER_DTYPE = _np.dtype([("lone", "<u4")])
+                """,
+            },
+            rule=R.StructConsistencyRule(),
+        )
+        assert result.clean
+
 
 # --- PipelinePass conformance -----------------------------------------------
 

@@ -638,3 +638,112 @@ class TestFaultInjectionHarness:
         report.ingest.records_skipped = 3
         assert report.degraded
         assert "skipped=3" in report.summary()
+
+
+# --------------------------------------------------------------------------
+# Batched-decode parity: the vectorized engine is an implementation detail
+# --------------------------------------------------------------------------
+
+
+class TestBatchedDecodeParity:
+    """The batch-vectorized ingest engine must be indistinguishable from
+    the scalar decoder under damage: byte-identical records, identical
+    ``DecodeHealth`` ledgers, identical errors at identical positions,
+    and jframe-identical pipeline output — for every error policy, with
+    and without decode-ahead reader threads."""
+
+    #: Batched ingest variants checked against the scalar reference.
+    BATCHED = (
+        {"vectorized": True, "decode_ahead": 0},   # inline batch decode
+        {"vectorized": True, "decode_ahead": 3},   # + reader thread
+    )
+
+    @staticmethod
+    def _faulted_dir(tmp_path, artifacts, faults):
+        config = _faulted_config(faults)
+        write_faulty_traces(artifacts.radio_traces, tmp_path, config)
+        return tmp_path
+
+    @staticmethod
+    def _drain(directory, policy, **ingest):
+        out = {}
+        for stream in open_trace_streams(directory, policy=policy, **ingest):
+            out[stream.radio_id] = (list(stream), stream.decode_health)
+        return out
+
+    @pytest.mark.parametrize("policy", ["skip", "drop-trace"])
+    def test_faulted_ledgers_and_records_identical(
+        self, tmp_path, tiny_run, policy
+    ):
+        _, artifacts = tiny_run
+        directory = self._faulted_dir(
+            tmp_path,
+            artifacts,
+            FaultConfig(corrupt_rate=0.05, truncate_radios=1),
+        )
+        scalar = self._drain(
+            directory, policy, vectorized=False, decode_ahead=0
+        )
+        for ingest in self.BATCHED:
+            batched = self._drain(directory, policy, **ingest)
+            assert batched.keys() == scalar.keys()
+            for radio_id, (records, health) in scalar.items():
+                b_records, b_health = batched[radio_id]
+                assert b_health == health, (radio_id, ingest)
+                assert b_records == records, (radio_id, ingest)
+
+    def test_strict_errors_identical(self, tmp_path, tiny_run):
+        _, artifacts = tiny_run
+        directory = self._faulted_dir(
+            tmp_path, artifacts, FaultConfig(corrupt_rate=0.05)
+        )
+
+        def first_error(**ingest):
+            errors = {}
+            for stream in open_trace_streams(
+                directory, policy="strict", **ingest
+            ):
+                try:
+                    list(stream)
+                except ValueError as exc:
+                    errors[stream.radio_id] = str(exc)
+            return errors
+
+        scalar = first_error(vectorized=False, decode_ahead=0)
+        assert scalar  # the plan corrupted something
+        for ingest in self.BATCHED:
+            assert first_error(**ingest) == scalar, ingest
+
+    def test_faulted_pipeline_jframes_identical(self, tmp_path, tiny_run):
+        _, artifacts = tiny_run
+        directory = self._faulted_dir(
+            tmp_path,
+            artifacts,
+            FaultConfig(corrupt_rate=0.03, blackout_radios=1),
+        )
+        clock_groups = artifacts.clock_groups()
+
+        def reconstruct(**ingest):
+            streams = open_trace_streams(
+                directory, policy="skip", **ingest
+            )
+            return JigsawPipeline(unifier=ShardedUnifier(max_workers=0)).run(
+                streams, clock_groups=clock_groups
+            )
+
+        baseline = reconstruct(vectorized=False, decode_ahead=0)
+        base_frames = [
+            (j.timestamp_us, j.channel, j.fcs, j.n_instances,
+             [i.radio_id for i in j.instances])
+            for j in baseline.jframes
+        ]
+        for ingest in self.BATCHED:
+            report = reconstruct(**ingest)
+            assert report.unification.stats == baseline.unification.stats
+            assert report.health.ingest == baseline.health.ingest
+            frames = [
+                (j.timestamp_us, j.channel, j.fcs, j.n_instances,
+                 [i.radio_id for i in j.instances])
+                for j in report.jframes
+            ]
+            assert frames == base_frames, ingest

@@ -198,8 +198,8 @@ class TestStreamingTraceReader:
             list(iter_trace_records(data_path))
 
 
-class TestParseCacheLru:
-    def test_bounded_eviction_keeps_hot_entries(self, monkeypatch):
+class TestParseCacheEviction:
+    def test_bounded_eviction_ages_one_entry(self, monkeypatch):
         import repro.core.sync.refs as refs
 
         monkeypatch.setattr(refs, "_PARSE_CACHE_LIMIT", 4)
@@ -209,13 +209,15 @@ class TestParseCacheLru:
         ]
         for record in records[:4]:
             refs.parse_record_frame(record)
-        # Touch the oldest entry so it becomes most-recently used.
-        hot_key = (records[0].snap, records[0].frame_len)
+        # A cache hit is a bare lookup — it must not grow the cache.
         refs.parse_record_frame(records[0])
-        # Inserting a fifth entry evicts exactly one — the coldest, not all.
+        assert len(refs._PARSE_CACHE) == 4
+        # Inserting a fifth entry evicts exactly one — the oldest
+        # inserted, not the whole cache.
         refs.parse_record_frame(records[4])
         assert len(refs._PARSE_CACHE) == 4
-        assert hot_key in refs._PARSE_CACHE
-        cold_key = (records[1].snap, records[1].frame_len)
-        assert cold_key not in refs._PARSE_CACHE
+        oldest_key = (records[0].snap, records[0].frame_len)
+        assert oldest_key not in refs._PARSE_CACHE
+        newest_key = (records[4].snap, records[4].frame_len)
+        assert newest_key in refs._PARSE_CACHE
         refs._PARSE_CACHE.clear()
