@@ -226,6 +226,28 @@ class AttemptAssembler:
         attempts.extend(self.finish())
         return attempts
 
+    # --- checkpoint support ----------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle with ``_unsealed`` converted to stable references.
+
+        ``_unsealed`` keys attempts by ``id()``, and ids are not stable
+        across a pickle round trip.  The state carries the unsealed
+        attempt *objects* instead (in emission-queue order); pickling the
+        assembler as one graph preserves their identity with the copies
+        in ``_emit``/``_pending_data``, so ``__setstate__`` can rebuild
+        the id set exactly.
+        """
+        state = self.__dict__.copy()
+        unsealed = self._unsealed
+        state["_unsealed"] = [a for a in self._emit if id(a) in unsealed]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        unsealed = state.pop("_unsealed")
+        self.__dict__.update(state)
+        self._unsealed = {id(a) for a in unsealed}
+
     # --- helpers ---------------------------------------------------------
 
     def _drain(self) -> List[TransmissionAttempt]:

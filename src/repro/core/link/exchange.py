@@ -190,6 +190,46 @@ class ExchangeAssembler:
         #: reorder slack.
         self._watermark = float("-inf")
 
+    @property
+    def watermark_us(self) -> float:
+        """The emission bound: every exchange starting at or before this
+        has been returned from :meth:`feed`.
+
+        This is the conservative downstream watermark of the whole
+        reconstruction: exchanges emit after attempts, which emit after
+        jframes, so a consumer that has drained :meth:`feed`'s returns
+        has seen *every* layer's events up to this bound.  The service
+        daemon seals windowed pass output against it.  ``-inf`` until
+        the first emission sweep; monotonically non-decreasing after —
+        including across a checkpoint/restore, since the cached bound is
+        part of the pickled state.
+        """
+        return self._bound
+
+    # --- checkpoint support ----------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle with the ``id()``-keyed state dicts made stable.
+
+        ``_open_states``/``_orphan_states`` key sender states by ``id()``
+        — not stable across a round trip — and their *insertion order*
+        drives the stale sweep's closure order, so the state stores the
+        values as ordered lists.  Identity with ``_senders``' values is
+        preserved by pickling the assembler as one graph, and
+        ``__setstate__`` rebuilds the dicts in the recorded order.
+        """
+        state = self.__dict__.copy()
+        state["_open_states"] = list(self._open_states.values())
+        state["_orphan_states"] = list(self._orphan_states.values())
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        open_states = state.pop("_open_states")
+        orphan_states = state.pop("_orphan_states")
+        self.__dict__.update(state)
+        self._open_states = {id(s): s for s in open_states}
+        self._orphan_states = {id(s): s for s in orphan_states}
+
     def feed(self, attempt: TransmissionAttempt) -> List[FrameExchange]:
         """Consume one attempt; return exchanges ready in start order."""
         closed: List[FrameExchange] = []

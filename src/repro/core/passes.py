@@ -45,6 +45,33 @@ if TYPE_CHECKING:  # import-light at runtime: passes sits below these layers
     from .unify.jframe import JFrame
 
 
+@dataclass(frozen=True)
+class SealedWindow:
+    """One windowed pass result, sealed and ready for publication.
+
+    A *windowed* pass folds its hook events into fixed-width time
+    windows.  Once the pipeline's emission watermark passes a window's
+    end, no future jframe/attempt/exchange can land in it, so the pass
+    surrenders the window through :meth:`PipelinePass.seal_ready` — the
+    service daemon publishes it immediately instead of waiting for
+    ``finish()``.  ``window_id`` is the window's index on the universal
+    timeline (``start_us // width``), which makes re-publications after
+    a checkpoint restore deduplicable: the same window always seals with
+    the same id and the same payload, no matter when it is sealed.
+    """
+
+    pass_name: str
+    window_id: int
+    start_us: int
+    end_us: int
+    payload: Any
+
+    @property
+    def key(self) -> "tuple[str, int]":
+        """Dedup key for at-least-once publication sinks."""
+        return (self.pass_name, self.window_id)
+
+
 @dataclass
 class PassContext:
     """Run-level state handed to :meth:`PipelinePass.finish`.
@@ -117,6 +144,46 @@ class PipelinePass:
     def finish(self, context: Optional[PassContext]) -> Any:
         """Finalize and return this pass's result."""
         return None
+
+    # --- windowed emission (service mode) --------------------------------
+
+    def seal_ready(self, watermark_us: float) -> List[SealedWindow]:
+        """Windows no future event can change, given the emission watermark.
+
+        The service daemon calls this after every feed step with the
+        conservative downstream watermark (the exchange assembler's
+        emission bound — everything earlier has been delivered to every
+        hook).  A windowed pass returns the finished windows, oldest
+        first, and must never return the same window twice on one
+        instance; non-windowed passes inherit this no-op.  Sealing must
+        be a pure function of the events fed so far — the crash/resume
+        parity suite holds that a window sealed after a checkpoint
+        restore is bit-identical to the uninterrupted run's.
+        """
+        return []
+
+    # --- checkpoint state protocol (service mode) -------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Picklable accumulator state for a service checkpoint.
+
+        The default captures the instance dict, which suits passes whose
+        state is plain data (counters, lists, dicts of dataclasses).  A
+        pass holding unpicklable resources (file handles, sockets)
+        overrides this pair to exclude and re-acquire them.
+        """
+        return dict(self.__dict__)
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore accumulator state captured by :meth:`snapshot_state`."""
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle through the snapshot protocol (checkpoint codec hook)."""
+        return self.snapshot_state()
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.restore_state(state)
 
 
 class MaterializePass(PipelinePass):

@@ -61,7 +61,13 @@ from ..jtrace.io import RadioTrace, StreamingRadioTrace
 from .faults import HealthReport, ShardHealth
 from .link.attempt import AttemptAssembler, AttemptStats, TransmissionAttempt
 from .link.exchange import ExchangeAssembler, ExchangeStats, FrameExchange
-from .passes import MaterializePass, PassContext, PipelinePass, check_pass_names
+from .passes import (
+    MaterializePass,
+    PassContext,
+    PipelinePass,
+    SealedWindow,
+    check_pass_names,
+)
 from .sync.bootstrap import BootstrapResult
 from .sync.sharded import ShardedBootstrap
 from .sync.skew import ClockTrack
@@ -139,6 +145,105 @@ class JigsawReport:
         if self.health.degraded:
             lines.append(f"degraded:              {self.health.summary()}")
         return "\n".join(lines)
+
+
+class ReconstructionDrive:
+    """The downstream half of the one-pass loop, extracted and reusable.
+
+    Feeds each unified jframe through attempt grouping, the exchange
+    FSM, flow binning and every registered pass — exactly the traversal
+    ``JigsawPipeline.run`` always performed inline.  Pulling it into an
+    object serves two callers:
+
+    * the batch pipeline drives it to exhaustion over a finite merge
+      stream and then calls :meth:`finish_streams`;
+    * the service daemon (:mod:`repro.service`) drives it incrementally
+      forever, reads :attr:`watermark_us` to seal windowed pass output
+      mid-stream, and pickles the whole drive — assemblers, collector,
+      pass accumulators — into its periodic checkpoints (every piece of
+      held state serializes, see the assemblers' ``__getstate__``).
+
+    Hook delivery order is part of the cross-mode bit-identity contract
+    and is unchanged: jframe hooks fire before the jframe's attempts,
+    attempt hooks before the exchanges they close, exchange hooks in
+    ``start_us`` order, flow hooks after transport inference.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[PipelinePass] = (),
+        materialize: bool = True,
+    ) -> None:
+        check_pass_names(passes)
+        self.passes: List[PipelinePass] = list(passes)
+        self.materializer = MaterializePass() if materialize else None
+        self._active: List[PipelinePass] = list(self.passes)
+        if self.materializer is not None:
+            self._active.append(self.materializer)
+        self.attempt_assembler = AttemptAssembler()
+        self.exchange_assembler = ExchangeAssembler()
+        self.flow_collector = FlowCollector()
+        self.transport_stats: Optional[InferenceStats] = None
+
+    @property
+    def watermark_us(self) -> float:
+        """Conservative downstream watermark (the exchange bound).
+
+        Every jframe, attempt and exchange at or before this timestamp
+        has been delivered to every hook, so windowed pass output up to
+        here is final.
+        """
+        return self.exchange_assembler.watermark_us
+
+    def feed(self, jframe: JFrame) -> None:
+        """Push one merged jframe through every downstream layer."""
+        for p in self._active:
+            p.on_jframe(jframe)
+        self._advance(self.attempt_assembler.feed(jframe))
+
+    def _advance(self, new_attempts: List[TransmissionAttempt]) -> None:
+        for attempt in new_attempts:
+            for p in self._active:
+                p.on_attempt(attempt)
+            # The exchange assembler's reorder buffer emits in
+            # start_us order, so no end-of-run sort barrier is needed.
+            for exchange in self.exchange_assembler.feed(attempt):
+                for p in self._active:
+                    p.on_exchange(exchange)
+                self.flow_collector.feed(exchange)
+
+    def seal_ready(self) -> List[SealedWindow]:
+        """Collect freshly sealed windows from every registered pass."""
+        watermark = self.watermark_us
+        sealed: List[SealedWindow] = []
+        for p in self.passes:
+            sealed.extend(p.seal_ready(watermark))
+        return sealed
+
+    def finish_streams(self, trim_exchange_refs: bool = False) -> List[TcpFlow]:
+        """Flush the assemblers, run transport inference, fire flow hooks.
+
+        Returns the reconstructed flows; per-layer statistics stay
+        readable on the assemblers and :attr:`transport_stats`.
+        """
+        self._advance(self.attempt_assembler.finish())
+        for exchange in self.exchange_assembler.finish():
+            for p in self._active:
+                p.on_exchange(exchange)
+            self.flow_collector.feed(exchange)
+        flows = self.flow_collector.finish()
+        transport = TransportInference()
+        self.transport_stats = transport.run(flows)
+        for flow in flows:
+            for p in self._active:
+                p.on_flow(flow)
+        if trim_exchange_refs:
+            # Inference and the on_flow hooks have consumed the exchange
+            # back-references; severing them lets the data jframes go the
+            # way of the rest of the unmaterialized timeline.
+            for flow in flows:
+                flow.trim_exchange_refs()
+        return flows
 
 
 class JigsawPipeline:
@@ -227,37 +332,15 @@ class JigsawPipeline:
 
         # One pass: jframes stream out of the merge and straight through
         # attempt grouping, the exchange FSM, flow binning and every
-        # registered analysis pass.
-        materializer = MaterializePass() if materialize else None
-        active: List[PipelinePass] = list(passes)
-        if materializer is not None:
-            active.append(materializer)
+        # registered analysis pass (the drive — shared verbatim with the
+        # service daemon's incremental loop).
         stream = self.unifier.stream_unify(ordered, bootstrap)
-        attempt_assembler = AttemptAssembler()
-        exchange_assembler = ExchangeAssembler()
-        flow_collector = FlowCollector()
-
-        def _advance(new_attempts: List[TransmissionAttempt]) -> None:
-            for attempt in new_attempts:
-                for p in active:
-                    p.on_attempt(attempt)
-                # The exchange assembler's reorder buffer emits in
-                # start_us order, so no end-of-run sort barrier is needed.
-                for exchange in exchange_assembler.feed(attempt):
-                    for p in active:
-                        p.on_exchange(exchange)
-                    flow_collector.feed(exchange)
-
+        drive = ReconstructionDrive(passes, materialize=materialize)
         for jframe in stream:
-            for p in active:
-                p.on_jframe(jframe)
-            _advance(attempt_assembler.feed(jframe))
-        _advance(attempt_assembler.finish())
-        for exchange in exchange_assembler.finish():
-            for p in active:
-                p.on_exchange(exchange)
-            flow_collector.feed(exchange)
+            drive.feed(jframe)
+        flows = drive.finish_streams(trim_exchange_refs=trim_exchange_refs)
 
+        materializer = drive.materializer
         unification = UnificationResult(
             jframes=materializer.jframes if materializer is not None else [],
             tracks=stream.tracks,
@@ -272,26 +355,14 @@ class JigsawPipeline:
         unify_health = getattr(self.unifier, "health", None)
         if isinstance(unify_health, ShardHealth):
             health.unify_shards.merge(unify_health)
-        flows = flow_collector.finish()
-        transport = TransportInference()
-        transport_stats = transport.run(flows)
-        for flow in flows:
-            for p in active:
-                p.on_flow(flow)
-        if trim_exchange_refs:
-            # Inference and the on_flow hooks have consumed the exchange
-            # back-references; severing them lets the data jframes go the
-            # way of the rest of the unmaterialized timeline.
-            for flow in flows:
-                flow.trim_exchange_refs()
 
         context = PassContext(
             bootstrap=bootstrap,
             tracks=unification.tracks,
             unify_stats=unification.stats,
-            attempt_stats=attempt_assembler.stats,
-            exchange_stats=exchange_assembler.stats,
-            transport_stats=transport_stats,
+            attempt_stats=drive.attempt_assembler.stats,
+            exchange_stats=drive.exchange_assembler.stats,
+            transport_stats=drive.transport_stats,
             traces=ordered,
             n_flows=len(flows),
         )
@@ -303,11 +374,11 @@ class JigsawPipeline:
             bootstrap=bootstrap,
             unification=unification,
             attempts=materializer.attempts if materializer is not None else [],
-            attempt_stats=attempt_assembler.stats,
+            attempt_stats=drive.attempt_assembler.stats,
             exchanges=materializer.exchanges if materializer is not None else [],
-            exchange_stats=exchange_assembler.stats,
+            exchange_stats=drive.exchange_assembler.stats,
             flows=flows,
-            transport_stats=transport_stats,
+            transport_stats=drive.transport_stats,
             elapsed_seconds=time.perf_counter() - started,
             passes=results,
             materialized=materialize,

@@ -129,6 +129,42 @@ class BootstrapResult:
     def fully_synchronized(self) -> bool:
         return not self.unreachable
 
+    def to_state(self) -> dict:
+        """A plain-data (JSON-able) snapshot of the offset ledger.
+
+        The service checkpoint codec stores bootstrap state through this
+        explicit schema rather than opaque object pickling, so the
+        on-disk checkpoint format stays inspectable and versionable:
+        radio ids become string keys (JSON objects key by string), and
+        :meth:`from_state` restores them exactly.
+        """
+        return {
+            "offsets_us": {str(r): t for r, t in self.offsets_us.items()},
+            "unreachable": list(self.unreachable),
+            "reference_sets_used": self.reference_sets_used,
+            "reference_frames_seen": self.reference_frames_seen,
+            "window_us": self.window_us,
+            "quarantined": {str(r): why for r, why in self.quarantined.items()},
+            "islands": [list(island) for island in self.islands],
+            "rejoined": list(self.rejoined),
+            "widen_rounds": self.widen_rounds,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BootstrapResult":
+        """Rebuild a result from :meth:`to_state` output (exact inverse)."""
+        return cls(
+            offsets_us={int(r): t for r, t in state["offsets_us"].items()},
+            unreachable=list(state["unreachable"]),
+            reference_sets_used=state["reference_sets_used"],
+            reference_frames_seen=state["reference_frames_seen"],
+            window_us=state["window_us"],
+            quarantined={int(r): why for r, why in state["quarantined"].items()},
+            islands=[list(island) for island in state["islands"]],
+            rejoined=list(state["rejoined"]),
+            widen_rounds=state["widen_rounds"],
+        )
+
 
 class _BootstrapShard:
     """Incremental reference-set collector for one channel shard.

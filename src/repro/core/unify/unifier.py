@@ -305,6 +305,10 @@ class _MergeEngine:
         self.open_by_key: Dict[ReferenceKey, _Group] = {}
         self.open_by_channel: Dict[int, deque] = defaultdict(deque)
         self.open_order: deque = deque()
+        #: Emission watermark: every jframe with ``timestamp_us`` at or
+        #: below this has been yielded.  Advances with the reorder-heap
+        #: drain; ``inf`` once the shard is fully drained.
+        self.watermark_us: float = -_INF
 
     # --- the merge hot loop ------------------------------------------------
 
@@ -442,6 +446,8 @@ class _MergeEngine:
             if universal > oldest_deadline:
                 oldest_deadline = finalize_stale(universal, reorder)
                 bound = universal - emit_lag
+                if bound > self.watermark_us:
+                    self.watermark_us = bound
                 while reorder and reorder[0][0] <= bound:
                     yield heappop(reorder)[2]
 
@@ -527,6 +533,7 @@ class _MergeEngine:
         self._finalize_stale(_INF, reorder)
         while reorder:
             yield heappop(reorder)[2]
+        self.watermark_us = _INF
 
     # --- placement helpers -------------------------------------------------
 
@@ -701,6 +708,266 @@ class _MergeEngine:
         )
 
 
+class LiveMergeShard(_MergeEngine):
+    """A checkpointable, record-at-a-time variant of the shard merge.
+
+    The batch :class:`_MergeEngine` is a generator pulling records
+    through trace cursors — its continuation state (the suspended frame,
+    the heap's cursor references) cannot be serialized.  This subclass
+    holds the *same* merge state in plain attributes and is driven one
+    record at a time from outside, so the whole object pickles and a
+    restored instance continues bit-identically.
+
+    The drive protocol is a **blocking-successor discipline**: after the
+    engine pops a radio's record off the heap, it demands that radio's
+    next record (or its end-of-stream) before anything else happens.
+    This makes the processing order a pure function of the per-radio
+    record sequences — never of arrival timing — which is what lets a
+    daemon killed and restored mid-trace replay into the identical
+    state, and what keeps live output jframe-for-jframe identical to a
+    batch run over the same records:
+
+    * :meth:`needed` — the radio id whose next record must be supplied,
+      or ``None`` when the engine can :meth:`step`;
+    * :meth:`supply` — hand over that radio's next record (``None`` at
+      end of stream);
+    * :meth:`step` — process exactly one heap pop; returns any jframes
+      whose emission watermark passed;
+    * :meth:`finish` — finalize remaining open groups, drain the rest.
+
+    Heap entries carry only scalars (estimate, push counter, radio id) —
+    records and track generations ride in side tables keyed by radio —
+    so a pickled engine rebinds nothing on restore.  The push counter
+    replicates the batch engine's tie-break exactly: under the
+    blocking-successor discipline pushes happen in the same order as the
+    batch hot loop's (initial records in trace order, then each popped
+    radio's successor immediately after its pop).
+    """
+
+    def __init__(
+        self,
+        unifier: "Unifier",
+        radio_ids: Sequence[int],
+        offsets_us: Dict[int, float],
+    ) -> None:
+        # Deliberately does NOT call _MergeEngine.__init__ (no traces to
+        # cursor); only the open-group/finalization state is shared.
+        self.unifier = unifier
+        self.stats = UnifyStats()
+        self.tracks = {}
+        self.radio_ids = list(radio_ids)
+        for radio_id in self.radio_ids:
+            self.tracks[radio_id] = ClockTrack(
+                radio_id=radio_id,
+                offset_us=offsets_us[radio_id],
+                alpha=unifier.skew_alpha,
+                compensate_skew=unifier.compensate_skew,
+            )
+        self.open_by_key = {}
+        self.open_by_channel = defaultdict(deque)
+        self.open_order = deque()
+        self.watermark_us = -_INF
+        self._emit_lag = 2.0 * unifier.search_window_us + max(
+            unifier.corrupt_attach_us, unifier.phy_attach_us
+        )
+        #: (est universal, push counter, radio id); records/generations
+        #: ride in the side tables below so entries stay picklable.
+        self._heap: List[Tuple[float, int, int]] = []
+        self._pending: Dict[int, TraceRecord] = {}
+        self._pending_gen: Dict[int, int] = {}
+        self._counter = 0
+        #: Radios awaiting their first record, in trace order.
+        self._to_prime: deque = deque(self.radio_ids)
+        #: Radio whose successor must be supplied before the next step.
+        self._await: Optional[int] = None
+        #: Popped-but-unprocessed record (est, radio, record, generation).
+        self._current: Optional[Tuple[float, int, TraceRecord, int]] = None
+        self._done: Dict[int, bool] = {}
+        self._reorder: List[Tuple[int, int, JFrame]] = []
+        self._oldest_deadline = _INF
+        self._finished = False
+
+    # --- drive protocol ----------------------------------------------------
+
+    def needed(self) -> Optional[int]:
+        """The radio whose next record is required, or None to step."""
+        if self._to_prime:
+            return self._to_prime[0]
+        return self._await
+
+    def supply(self, radio_id: int, record: Optional[TraceRecord]) -> None:
+        """Provide ``radio_id``'s next record; ``None`` ends its stream."""
+        expected = self.needed()
+        if radio_id != expected:
+            raise ValueError(
+                f"supply order violation: engine needs radio {expected}, "
+                f"got {radio_id}"
+            )
+        if self._to_prime:
+            self._to_prime.popleft()
+        else:
+            self._await = None
+        if record is None:
+            self._done[radio_id] = True
+            return
+        self.stats.records_in += 1
+        track = self.tracks[radio_id]
+        heapq.heappush(
+            self._heap,
+            (track.universal_us(record.timestamp_us), self._counter, radio_id),
+        )
+        self._counter += 1
+        self._pending[radio_id] = record
+        self._pending_gen[radio_id] = track.generation
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every supplied stream has ended and drained."""
+        return (
+            not self._heap
+            and self._current is None
+            and not self._to_prime
+            and self._await is None
+        )
+
+    def step(self) -> List[JFrame]:
+        """Advance by one heap pop; returns newly emittable jframes.
+
+        A step either pops the earliest pending record (and then demands
+        its radio's successor — call :meth:`supply` before stepping
+        again) or, once the successor is in, processes the popped record
+        through grouping/finalization.  Mirrors the batch hot loop's
+        sequencing exactly: the successor's heap estimate is computed
+        *before* the popped record can trigger resynchronization.
+        """
+        if self.needed() is not None:
+            raise RuntimeError(
+                f"radio {self.needed()} must be supplied before stepping"
+            )
+        if self._current is None:
+            if not self._heap:
+                return []
+            est, _, radio_id = heapq.heappop(self._heap)
+            record = self._pending.pop(radio_id)
+            gen = self._pending_gen.pop(radio_id)
+            self._current = (est, radio_id, record, gen)
+            if not self._done.get(radio_id):
+                self._await = radio_id
+                return []
+            # Stream already ended: nothing to demand, process now.
+        est, radio_id, record, gen = self._current
+        self._current = None
+        return self._process(est, radio_id, record, gen)
+
+    def finish(self) -> List[JFrame]:
+        """Finalize every open group and drain the reorder heap."""
+        if not self.exhausted:
+            raise RuntimeError("finish() before the shard drained")
+        self._finished = True
+        self._finalize_stale(_INF, self._reorder)
+        out: List[JFrame] = []
+        while self._reorder:
+            out.append(heapq.heappop(self._reorder)[2])
+        self.watermark_us = _INF
+        return out
+
+    # --- one record through grouping (batch hot-loop semantics) ------------
+
+    def _process(
+        self, est: float, radio_id: int, record: TraceRecord, gen: int
+    ) -> List[JFrame]:
+        unifier = self.unifier
+        track = self.tracks[radio_id]
+        if gen == track.generation:
+            universal = est
+        else:
+            universal = track.universal_us(record.timestamp_us)
+
+        kind = record.kind
+        frame = parse_record_frame(record) if kind is RecordKind.VALID else None
+        instance = Instance(
+            radio_id=radio_id,
+            local_us=record.timestamp_us,
+            universal_us=universal,
+            record=record,
+            frame=frame,
+        )
+
+        emitted: List[JFrame] = []
+        if universal > self._oldest_deadline:
+            self._oldest_deadline = self._finalize_stale(
+                universal, self._reorder
+            )
+            bound = universal - self._emit_lag
+            if bound > self.watermark_us:
+                self.watermark_us = bound
+            reorder = self._reorder
+            while reorder and reorder[0][0] <= bound:
+                emitted.append(heapq.heappop(reorder)[2])
+
+        channel = record.channel
+        if kind is RecordKind.VALID:
+            key = (channel, record.frame_len, record.fcs, record.snap)
+            group = self.open_by_key.get(key)
+            if (
+                group is not None
+                and radio_id not in group.radios
+                and universal - group.first_universal <= unifier.instance_gap_us
+            ):
+                group.instances.append(instance)
+                group.radios.add(radio_id)
+                return emitted
+            transmitter = None
+            if frame is not None:
+                transmitter = frame.transmitter or frame.addr1
+            upgrade = self._find_attachable(
+                instance, self.open_by_channel[channel],
+                unifier.corrupt_attach_us, need_headless=True,
+            )
+            if upgrade is not None:
+                upgrade.add(instance)
+                upgrade.key = key
+                upgrade.rep_record = record
+                upgrade.rep_frame = frame
+                upgrade.transmitter = transmitter
+                self.open_by_key[key] = upgrade
+                return emitted
+            group = _Group(instance, channel, key, record, transmitter)
+            group.rep_frame = frame
+            self.open_by_key[key] = group
+        elif kind is RecordKind.CORRUPT:
+            transmitter = transmitter_from_corrupt_bytes(record.snap)
+            existing = self._find_attachable(
+                instance, self.open_by_channel[channel],
+                unifier.corrupt_attach_us, transmitter=transmitter,
+            )
+            if existing is not None:
+                existing.instances.append(instance)
+                existing.radios.add(radio_id)
+                return emitted
+            group = _Group(instance, channel, None, None, transmitter)
+        else:  # PHY_ERROR
+            best = self._find_attachable(
+                instance, self.open_by_channel[channel], unifier.phy_attach_us
+            )
+            if best is not None:
+                best.instances.append(instance)
+                best.radios.add(radio_id)
+                return emitted
+            group = _Group(instance, channel, None, None, None)
+
+        self.open_by_channel[channel].append(group)
+        self.open_order.append(group)
+        # Value (not identity) comparison: a pickle round trip rebuilds
+        # the float, and ``is _INF`` would silently stop re-arming the
+        # staleness deadline on a restored engine.
+        if self._oldest_deadline == _INF:
+            self._oldest_deadline = (
+                group.first_universal + unifier.search_window_us
+            )
+        return emitted
+
+
 class UnifyStream:
     """A lazy unification in progress: iterate to drain the jframes.
 
@@ -741,6 +1008,18 @@ class UnifyStream:
                 if rid in combined
             }
         return combined
+
+    @property
+    def watermark_us(self) -> float:
+        """Global emission bound: min over the shards' watermarks.
+
+        Every jframe with ``timestamp_us`` at or below this has been
+        yielded by the merged stream; ``-inf`` before the first shard
+        drain, ``inf`` once the stream is exhausted.
+        """
+        if not self._engines:
+            return _INF
+        return min(engine.watermark_us for engine in self._engines)
 
 
 def merge_shard_streams(

@@ -255,6 +255,9 @@ class StreamingRadioTrace:
         self._batches: Optional[Iterator[RecordBatch]] = (
             iter(batch_source) if batch_source is not None else None
         )
+        # Kept so close() can reach a decode-ahead reader even after the
+        # iterator slot was cleared at exhaustion.
+        self._batch_origin: Optional[Iterable[RecordBatch]] = batch_source
         self._buffer: List[TraceRecord] = []
         self._last_ts: Optional[int] = None
         self._ordered = True
@@ -432,6 +435,27 @@ class StreamingRadioTrace:
         self.records
         return self
 
+    def close(self) -> None:
+        """Release the decode source; joins any decode-ahead thread.
+
+        Idempotent.  The replay buffer stays readable — only the
+        (possibly threaded) source is torn down, so a closed trace can
+        still serve every record it already decoded.
+        """
+        for source in (self._batches, self._batch_origin, self._source):
+            closer = getattr(source, "close", None)
+            if closer is not None:
+                closer()
+        self._batches = None
+        self._batch_origin = None
+        self._source = None
+
+    def __enter__(self) -> "StreamingRadioTrace":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
 
 class _ReaderDone:
     """Queue sentinel: the decode-ahead worker finished its stream."""
@@ -497,7 +521,23 @@ class _DecodeAheadReader:
         return cast(RecordBatch, item)
 
     def close(self) -> None:
+        """Stop the worker and join it; idempotent.
+
+        Setting the stop flag alone leaves the worker parked in its
+        bounded ``put`` retry loop for up to one timeout interval;
+        draining one queue slot unblocks it immediately so the join
+        returns promptly.  Joining matters for long-lived processes
+        (the service daemon opens and closes many traces): a merely
+        flagged thread still holds its decoder state alive until the
+        scheduler lets it notice the flag.
+        """
         self._stop.set()
+        try:
+            self._queue.get_nowait()
+        except queue.Empty:  # repro: ignore[error-policy]
+            pass  # nothing buffered means nothing to unblock; no data lost
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
 
     def __del__(self) -> None:
         self._stop.set()

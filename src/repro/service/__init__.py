@@ -1,0 +1,55 @@
+"""Always-on service mode: checkpointed live reconstruction.
+
+:mod:`repro.service` turns the one-pass Jigsaw pipeline into a daemon:
+records flow in per radio (live uplink or the simulator test double),
+the merge/link/transport layers advance incrementally forever, windowed
+pass output is sealed and published as the emission watermark passes it,
+and the whole reconstruction state is periodically checkpointed so a
+killed daemon resumes mid-trace bit-identically.
+
+Public surface:
+
+* :class:`~repro.service.daemon.JigsawDaemon` — the drive loop;
+* :class:`~repro.service.daemon.ServiceReport` — final report plus the
+  published-window ledger;
+* :class:`~repro.service.windows.WindowedSummaryPass` /
+  :class:`~repro.service.windows.WindowedInterferencePass` /
+  :class:`~repro.service.windows.WindowedLossPass` — windowed passes
+  with mid-stream sealing;
+* :class:`~repro.service.queues.QueueFeed` — bounded per-radio ingest
+  queues with backpressure and stall detection;
+* :mod:`~repro.service.checkpoint` — the versioned checkpoint codec.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .daemon import JigsawDaemon, ServiceReport
+from .queues import QueueFeed, RadioQueue, ServiceStalled
+from .windows import (
+    WindowedInterferencePass,
+    WindowedLossPass,
+    WindowedSummaryPass,
+)
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointState",
+    "JigsawDaemon",
+    "QueueFeed",
+    "RadioQueue",
+    "ServiceReport",
+    "ServiceStalled",
+    "WindowedInterferencePass",
+    "WindowedLossPass",
+    "WindowedSummaryPass",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,150 @@
+"""Versioned, integrity-checked checkpoint codec for the service daemon.
+
+A checkpoint is one pickle of a :class:`CheckpointState` — engines,
+drive, k-way FIFOs, ledger and counters serialized as a **single object
+graph**.  One graph matters: the merge engines, the assemblers and the
+materialized jframes share objects (instances, tracks, attempts), and
+the assemblers' ``id()``-keyed working sets are rebuilt from object
+identity on restore.  Pickling pieces separately would sever that
+sharing and the restored daemon would silently diverge.
+
+On-disk format::
+
+    MAGIC (4 bytes) | version (u32 LE) | crc32 (u32 LE) | length (u64 LE)
+    | pickle payload
+
+Writes are atomic: the payload lands in a same-directory temp file which
+is ``os.replace``-d over the target, so a crash mid-write leaves the
+previous checkpoint intact — the recovery point is always the last
+*complete* checkpoint.
+
+Compatibility policy (documented in ``docs/service.md``): the version
+is bumped whenever any pickled class's layout changes incompatibly;
+``load_checkpoint`` refuses foreign magic, future versions and payloads
+whose CRC or length disagree with the header, raising
+:class:`CheckpointError` rather than unpickling garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+CHECKPOINT_MAGIC = b"JGSV"
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_HEADER = struct.Struct("<4sIIQ")
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is foreign, damaged or from the future."""
+
+
+@dataclass
+class CheckpointState:
+    """Everything a restarted daemon needs, minus the record source.
+
+    The feed itself is *not* checkpointed — a restored daemon rebuilds
+    it from configuration and seeks it to ``consumed`` (the simulator
+    test double re-derives identical records; a live deployment replays
+    from its upstream spool).  Everything else is the daemon's exact
+    in-memory state at a deterministic loop boundary.
+    """
+
+    #: Per-radio records consumed from the feed (the seek target).
+    consumed: Dict[int, int]
+    #: Total records consumed (checkpoint cadence anchor).
+    total_consumed: int
+    #: One live merge engine per channel shard, mid-merge.
+    engines: List[Any]
+    #: Radio ids driven by each engine (schedule reconstruction).
+    shard_radio_ids: List[List[int]]
+    #: Per-shard jframes emitted but not yet released to the drive.
+    fifos: List[List[Any]]
+    #: Shards whose ``finish()`` already ran.
+    finished: List[bool]
+    #: The downstream drive: assemblers, flow collector, passes.
+    drive: Any
+    #: The offset ledger as :meth:`BootstrapResult.to_state` plain data
+    #: (offsets, quarantine, islands) — inspectable without unpickling
+    #: domain classes.
+    bootstrap: Any
+    #: Run health ledger accumulated so far.
+    health: Any
+    #: Quarantined-radio ingest counters (drained once, at first start).
+    quarantine_stats: Any
+    #: Track ordering for the final report (feed trace order).
+    track_order: List[int]
+    #: Published windows, in publication order, keyed for dedup.
+    published: List[Any] = field(default_factory=list)
+    #: Checkpoints written before this one (monotone counter).
+    checkpoints_written: int = 0
+
+    def published_keys(self) -> List[Tuple[str, int]]:
+        return [window.key for window in self.published]
+
+
+def save_checkpoint(path: Path, state: CheckpointState) -> None:
+    """Atomically write ``state`` to ``path`` (temp file + rename)."""
+    path = Path(path)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _CHECKPOINT_HEADER.pack(
+        CHECKPOINT_MAGIC,
+        CHECKPOINT_VERSION,
+        zlib.crc32(payload) & 0xFFFFFFFF,
+        len(payload),
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: Path) -> CheckpointState:
+    """Read, validate and unpickle a checkpoint written by this codec."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < _CHECKPOINT_HEADER.size:
+        raise CheckpointError(f"{path}: truncated header")
+    magic, version, crc, length = _CHECKPOINT_HEADER.unpack_from(raw)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: not a Jigsaw service checkpoint")
+    if version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} is newer than this "
+            f"build understands ({CHECKPOINT_VERSION}); upgrade before "
+            "resuming"
+        )
+    payload = raw[_CHECKPOINT_HEADER.size:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path}: payload length {len(payload)} != header {length} "
+            "(truncated write?)"
+        )
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise CheckpointError(f"{path}: payload CRC mismatch (corruption)")
+    state = pickle.loads(payload)
+    if not isinstance(state, CheckpointState):
+        raise CheckpointError(
+            f"{path}: payload is {type(state).__name__}, "
+            "not CheckpointState"
+        )
+    return state
+
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointState",
+    "load_checkpoint",
+    "save_checkpoint",
+]

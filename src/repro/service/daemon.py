@@ -1,0 +1,459 @@
+"""The always-on reconstruction daemon: live drive loop + checkpoints.
+
+:class:`JigsawDaemon` runs the full Jigsaw pipeline as a service.  Where
+``JigsawPipeline.run`` drains finite traces to exhaustion, the daemon
+pulls records one at a time from a *feed* (a live uplink, a
+:class:`~repro.service.queues.QueueFeed`, or the simulator test double
+:class:`~repro.sim.stream.LiveScenarioFeed`), advances the merge
+incrementally, publishes windowed pass output as the emission watermark
+passes it, and periodically checkpoints the entire reconstruction state
+so a killed daemon resumes mid-trace **bit-identically**.
+
+Determinism is the load-bearing property, and it rests on three legs:
+
+1. **Blocking-successor merge** — each channel shard runs a
+   :class:`~repro.core.unify.unifier.LiveMergeShard`: after popping a
+   radio's record the engine demands that radio's next record before
+   anything else happens, so the processing order is a pure function of
+   the per-radio record sequences, never of arrival timing or restart
+   points.
+2. **Watermark-gated k-way release** — a shard's emitted jframe is
+   handed to the downstream drive only when every other shard provably
+   cannot emit an earlier one (its FIFO head is later, or its emission
+   watermark has passed the candidate).  The released sequence is
+   therefore exactly the batch pipeline's ``heapq.merge`` order, just
+   discovered incrementally.
+3. **Checkpoints at deterministic loop boundaries** — state is captured
+   only at the end of a full scheduling round, at a record count every
+   incarnation passes through, so the uninterrupted run provably visits
+   the exact state a restored run starts from.
+
+The feed protocol: ``next_record(radio_id) -> Optional[TraceRecord]``
+(``None`` = end of that radio's stream), plus ``traces`` /
+``clock_groups()`` for the bootstrap prepass and ``consumed()`` /
+``seek()`` for checkpoint alignment.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.faults import HealthReport
+from ..core.link.exchange import EXCHANGE_REORDER_SLACK_US
+from ..core.passes import PassContext, PipelinePass, SealedWindow
+from ..core.pipeline import JigsawReport, ReconstructionDrive
+from ..core.sync.bootstrap import BootstrapResult
+from ..core.sync.sharded import ShardedBootstrap
+from ..core.unify.jframe import JFrame
+from ..core.unify.unifier import (
+    LiveMergeShard,
+    UnificationResult,
+    Unifier,
+    UnifyStats,
+    partition_traces,
+)
+from .checkpoint import CheckpointState, load_checkpoint, save_checkpoint
+
+#: Default checkpoint cadence, in consumed records.
+DEFAULT_CHECKPOINT_EVERY = 2_000
+
+
+@dataclass
+class ServiceReport:
+    """What a completed daemon run surrenders.
+
+    ``report`` is the same :class:`~repro.core.pipeline.JigsawReport`
+    the batch pipeline produces (bit-identical to one, for the same
+    records); ``published`` is the at-least-once publication ledger in
+    first-publication order — every window each registered windowed
+    pass ever sealed, deduplicated by ``(pass_name, window_id)``.
+    """
+
+    report: JigsawReport
+    published: List[SealedWindow] = field(default_factory=list)
+    checkpoints_written: int = 0
+    resumed: bool = False
+
+    def published_for(self, pass_name: str) -> List[SealedWindow]:
+        return [w for w in self.published if w.pass_name == pass_name]
+
+
+class JigsawDaemon:
+    """Checkpointed live reconstruction over a per-radio record feed."""
+
+    def __init__(
+        self,
+        feed: Any,
+        unifier: Optional[Unifier] = None,
+        passes: Sequence[PipelinePass] = (),
+        materialize: bool = True,
+        checkpoint_path: Optional[Path] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        bootstrap_window_us: int = 1_000_000,
+        auto_widen_bootstrap: bool = True,
+    ) -> None:
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint cadence must be positive")
+        self.feed = feed
+        self.unifier = unifier or Unifier()
+        self.materialize = materialize
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.bootstrap_window_us = bootstrap_window_us
+        self.auto_widen_bootstrap = auto_widen_bootstrap
+        self._passes: List[PipelinePass] = list(passes)
+
+        self._started = False
+        self._resumed = False
+        self._engines: List[LiveMergeShard] = []
+        self._shard_radio_ids: List[List[int]] = []
+        self._fifos: List[Deque[JFrame]] = []
+        self._finished: List[bool] = []
+        self._drive: Optional[ReconstructionDrive] = None
+        self._bootstrap: Optional[BootstrapResult] = None
+        self._health = HealthReport()
+        self._quarantine_stats = UnifyStats()
+        self._track_order: List[int] = []
+        self._published: Dict[Tuple[str, int], SealedWindow] = {}
+        self._total_consumed = 0
+        self._last_checkpoint_at = 0
+        self._checkpoints_written = 0
+
+    # --- observability -----------------------------------------------------
+
+    @property
+    def watermark_us(self) -> float:
+        """Conservative downstream watermark (monotone, never regresses)."""
+        if self._drive is None:
+            return float("-inf")
+        return self._drive.watermark_us
+
+    @property
+    def total_consumed(self) -> int:
+        return self._total_consumed
+
+    @property
+    def published_windows(self) -> List[SealedWindow]:
+        return list(self._published.values())
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self._checkpoints_written
+
+    # --- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_path: Path,
+        feed: Any,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        materialize: bool = True,
+    ) -> "JigsawDaemon":
+        """Rebuild a daemon from its last complete checkpoint.
+
+        ``feed`` must be a fresh feed over the *same* record source (the
+        simulator test double re-derives it from the scenario config); it
+        is ``seek``-ed to the checkpoint's consumed counts so the next
+        ``next_record`` returns the first record the crashed daemon
+        never consumed.
+        """
+        state = load_checkpoint(checkpoint_path)
+        engines: List[LiveMergeShard] = state.engines
+        unifier = engines[0].unifier if engines else Unifier()
+        daemon = cls(
+            feed,
+            unifier=unifier,
+            materialize=materialize,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        feed.seek(state.consumed)
+        daemon._engines = engines
+        daemon._shard_radio_ids = [list(r) for r in state.shard_radio_ids]
+        daemon._fifos = [deque(f) for f in state.fifos]
+        daemon._finished = list(state.finished)
+        daemon._drive = state.drive
+        daemon._passes = list(state.drive.passes)
+        daemon._bootstrap = (
+            None if state.bootstrap is None
+            else BootstrapResult.from_state(state.bootstrap)
+        )
+        daemon._health = state.health
+        daemon._quarantine_stats = state.quarantine_stats
+        daemon._track_order = list(state.track_order)
+        daemon._published = {w.key: w for w in state.published}
+        daemon._total_consumed = state.total_consumed
+        daemon._last_checkpoint_at = state.total_consumed
+        daemon._checkpoints_written = state.checkpoints_written
+        daemon._started = True
+        daemon._resumed = True
+        return daemon
+
+    def serve(
+        self, stop_after_records: Optional[int] = None
+    ) -> Optional[ServiceReport]:
+        """Run until the feed ends; return the final report.
+
+        ``stop_after_records`` simulates a SIGKILL for the crash/resume
+        suite: once the *total* consumed-record count reaches it, the
+        daemon returns ``None`` immediately — mid-round, with no final
+        checkpoint, no flushing, no cleanup.  Recovery is whatever the
+        last periodic checkpoint captured, exactly as a real kill.
+        """
+        started_clock = time.perf_counter()
+        if not self._started:
+            self._start()
+        crashed = self._loop(stop_after_records)
+        if crashed:
+            return None
+        return self._finalize(started_clock)
+
+    # --- startup -----------------------------------------------------------
+
+    def _start(self) -> None:
+        feed = self.feed
+        coordinator = ShardedBootstrap(
+            max_workers=1,
+            window_us=self.bootstrap_window_us,
+            auto_widen=self.auto_widen_bootstrap,
+        )
+        bootstrap = coordinator.bootstrap(
+            feed.traces, clock_groups=feed.clock_groups()
+        )
+        self._bootstrap = bootstrap
+        health = self._health
+        health.bootstrap_shards.merge(coordinator.health)
+        health.sync.quarantined = dict(bootstrap.quarantined)
+        health.sync.islands = [list(i) for i in bootstrap.islands]
+        health.sync.rejoined = list(bootstrap.rejoined)
+        health.sync.widen_rounds = bootstrap.widen_rounds
+
+        offsets = bootstrap.offsets_us
+        # Quarantined radios contribute nothing; their record counts land
+        # in the ledger exactly as the batch merge counts them.  Drained
+        # once, here — the counters ride in every checkpoint, so a
+        # restored daemon never re-drains.
+        for trace in feed.traces:
+            if trace.radio_id not in offsets:
+                skipped = len(trace)
+                self._quarantine_stats.records_in += skipped
+                self._quarantine_stats.records_skipped_unsynchronized += (
+                    skipped
+                )
+
+        # Same shard structure (and therefore the same k-way tie-break
+        # order) as the batch pipeline; shards with no synchronized radio
+        # are skipped — they can never emit.
+        for shard in partition_traces(feed.traces):
+            radio_ids = [t.radio_id for t in shard if t.radio_id in offsets]
+            if not radio_ids:
+                continue
+            self._engines.append(
+                LiveMergeShard(self.unifier, radio_ids, offsets)
+            )
+            self._shard_radio_ids.append(radio_ids)
+            self._fifos.append(deque())
+            self._finished.append(False)
+        self._drive = ReconstructionDrive(
+            self._passes, materialize=self.materialize
+        )
+        self._track_order = [t.radio_id for t in feed.traces]
+        self._started = True
+
+    # --- the drive loop ----------------------------------------------------
+
+    def _loop(self, stop_after_records: Optional[int]) -> bool:
+        """Round-robin the shards until the feed drains; True = crashed."""
+        feed = self.feed
+        engines = self._engines
+        fifos = self._fifos
+        finished = self._finished
+        while True:
+            for si, engine in enumerate(engines):
+                if finished[si]:
+                    continue
+                radio_id = engine.needed()
+                if radio_id is not None:
+                    record = feed.next_record(radio_id)
+                    engine.supply(radio_id, record)
+                    if record is not None:
+                        self._total_consumed += 1
+                        if (
+                            stop_after_records is not None
+                            and self._total_consumed >= stop_after_records
+                        ):
+                            return True  # simulated SIGKILL: stop mid-round
+                elif engine.exhausted:
+                    fifos[si].extend(engine.finish())
+                    finished[si] = True
+                else:
+                    fifos[si].extend(engine.step())
+            self._release()
+            assert self._drive is not None
+            self._publish(self._drive.seal_ready())
+            if (
+                self.checkpoint_path is not None
+                and self._total_consumed - self._last_checkpoint_at
+                >= self.checkpoint_every
+            ):
+                self._write_checkpoint()
+            if all(finished) and not any(fifos):
+                return False
+
+    def _release(self) -> None:
+        """Feed the drive every jframe that is provably globally next.
+
+        Replicates ``heapq.merge``'s (timestamp, shard index) order: the
+        minimum FIFO head is released only when every other shard either
+        shows a later head or has an emission watermark at or past the
+        candidate (a shard's future emissions are strictly later than
+        its watermark, so it can never produce an earlier jframe).
+        """
+        fifos = self._fifos
+        engines = self._engines
+        drive = self._drive
+        assert drive is not None
+        while True:
+            best_si = -1
+            best_ts = 0
+            for si, fifo in enumerate(fifos):
+                if fifo:
+                    ts = fifo[0].timestamp_us
+                    if best_si < 0 or ts < best_ts:
+                        best_si, best_ts = si, ts
+            if best_si < 0:
+                return
+            for si, engine in enumerate(engines):
+                if si == best_si or fifos[si]:
+                    continue
+                if engine.watermark_us < best_ts:
+                    return  # shard si could still emit something earlier
+            drive.feed(fifos[best_si].popleft())
+
+    def _publish(self, sealed: Sequence[SealedWindow]) -> None:
+        """At-least-once publication with a dedup ledger.
+
+        Re-publications happen by design after a restore (windows sealed
+        between the recovered checkpoint and the crash seal again); the
+        ledger keeps the first copy — determinism guarantees any repeat
+        is bit-identical.
+        """
+        for window in sealed:
+            if window.key not in self._published:
+                self._published[window.key] = window
+
+    def _write_checkpoint(self) -> None:
+        assert self.checkpoint_path is not None
+        state = CheckpointState(
+            consumed=self.feed.consumed(),
+            total_consumed=self._total_consumed,
+            engines=self._engines,
+            shard_radio_ids=[list(r) for r in self._shard_radio_ids],
+            fifos=[list(f) for f in self._fifos],
+            finished=list(self._finished),
+            drive=self._drive,
+            # The offset ledger goes through its explicit plain-data
+            # schema, not object pickling: the one part of the format
+            # an operator can inspect and other tools can parse.
+            bootstrap=(
+                None if self._bootstrap is None
+                else self._bootstrap.to_state()
+            ),
+            health=self._health,
+            quarantine_stats=self._quarantine_stats,
+            track_order=list(self._track_order),
+            published=list(self._published.values()),
+            checkpoints_written=self._checkpoints_written + 1,
+        )
+        save_checkpoint(self.checkpoint_path, state)
+        self._checkpoints_written += 1
+        self._last_checkpoint_at = self._total_consumed
+
+    # --- completion --------------------------------------------------------
+
+    def _finalize(self, started_clock: float) -> ServiceReport:
+        drive = self._drive
+        bootstrap = self._bootstrap
+        assert drive is not None and bootstrap is not None
+        flows = drive.finish_streams(trim_exchange_refs=not self.materialize)
+        # Everything has now been delivered to every hook; seal whatever
+        # windows remain (watermark = +inf) and publish them.
+        tail: List[SealedWindow] = []
+        for p in drive.passes:
+            tail.extend(p.seal_ready(float("inf")))
+        self._publish(tail)
+
+        stats = UnifyStats()
+        for engine in self._engines:
+            stats.merge(engine.stats)
+        stats.merge(self._quarantine_stats)
+        combined: Dict[int, Any] = {}
+        for engine in self._engines:
+            combined.update(engine.tracks)
+        tracks = {
+            rid: combined[rid] for rid in self._track_order if rid in combined
+        }
+        materializer = drive.materializer
+        unification = UnificationResult(
+            jframes=materializer.jframes if materializer is not None else [],
+            tracks=tracks,
+            stats=stats,
+        )
+        health = self._health
+        for trace in self.feed.traces:
+            decode_health = getattr(trace, "decode_health", None)
+            if decode_health is not None:
+                health.ingest.merge(decode_health)
+
+        context = PassContext(
+            bootstrap=bootstrap,
+            tracks=tracks,
+            unify_stats=stats,
+            attempt_stats=drive.attempt_assembler.stats,
+            exchange_stats=drive.exchange_assembler.stats,
+            transport_stats=drive.transport_stats,
+            traces=self.feed.traces,
+            n_flows=len(flows),
+        )
+        results = {p.name: p.finish(context) for p in drive.passes}
+        if materializer is not None:
+            materializer.finish(context)
+
+        report = JigsawReport(
+            bootstrap=bootstrap,
+            unification=unification,
+            attempts=materializer.attempts if materializer is not None else [],
+            attempt_stats=drive.attempt_assembler.stats,
+            exchanges=(
+                materializer.exchanges if materializer is not None else []
+            ),
+            exchange_stats=drive.exchange_assembler.stats,
+            flows=flows,
+            transport_stats=drive.transport_stats,
+            elapsed_seconds=time.perf_counter() - started_clock,
+            passes=results,
+            materialized=self.materialize,
+            health=health,
+        )
+        return ServiceReport(
+            report=report,
+            published=list(self._published.values()),
+            checkpoints_written=self._checkpoints_written,
+            resumed=self._resumed,
+        )
+
+
+#: Re-exported for callers sizing window widths against the emission lag.
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "EXCHANGE_REORDER_SLACK_US",
+    "JigsawDaemon",
+    "ServiceReport",
+]

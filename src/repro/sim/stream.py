@@ -146,3 +146,78 @@ def stream_scenario(
 ) -> StreamedScenario:
     """Build a scenario for lazy, pipeline-driven execution."""
     return StreamedScenario(build_scenario(config), chunk_us)
+
+
+class LiveScenarioFeed:
+    """Service-mode source adapter: one record at a time, per radio.
+
+    The service daemon's merge shards request exactly one successor
+    record after each heap pop (the blocking-successor discipline), so
+    the daemon's input is a per-radio cursor rather than a bulk trace
+    drain.  This adapter wraps a :class:`StreamedScenario` in that
+    shape — it is the test double for a live radio uplink: calling
+    :meth:`next_record` may advance the shared simulation kernel just
+    far enough to produce the requested record, exactly as a socket
+    read would block until a monitor pushed one.
+
+    Resume: the simulation is deterministic and oblivious to when its
+    records are harvested, so the record at index ``i`` of a radio's
+    stream is identical across daemon incarnations.  A restored daemon
+    rebuilds the feed from the same :class:`ScenarioConfig` and calls
+    :meth:`seek` with the checkpoint's per-radio consumed counts; the
+    replay prefix re-decodes (cheap at service-test scale) and the
+    cursors land on the first unconsumed record.
+    """
+
+    def __init__(self, scenario: StreamedScenario) -> None:
+        self._scenario = scenario
+        self._by_radio: Dict[int, StreamingRadioTrace] = {
+            trace.radio_id: trace for trace in scenario.traces
+        }
+        self._cursor: Dict[int, int] = {
+            radio_id: 0 for radio_id in self._by_radio
+        }
+
+    @property
+    def config(self) -> ScenarioConfig:
+        return self._scenario.config
+
+    @property
+    def traces(self) -> List[StreamingRadioTrace]:
+        """The underlying streaming traces (bootstrap prepass input)."""
+        return self._scenario.traces
+
+    def clock_groups(self) -> List[List[int]]:
+        return self._scenario.clock_groups()
+
+    def artifacts(self) -> SimulationArtifacts:
+        return self._scenario.artifacts()
+
+    def consumed(self) -> Dict[int, int]:
+        """Per-radio count of records handed out (checkpoint state)."""
+        return dict(self._cursor)
+
+    def seek(self, consumed: Dict[int, int]) -> None:
+        """Position every cursor at a checkpoint's consumed counts."""
+        for radio_id, count in consumed.items():
+            if radio_id not in self._cursor:
+                raise KeyError(f"unknown radio id {radio_id}")
+            if count < 0:
+                raise ValueError("consumed counts must be non-negative")
+            self._cursor[radio_id] = count
+
+    def next_record(self, radio_id: int) -> Optional[TraceRecord]:
+        """The next unconsumed record for ``radio_id``; None at EOF."""
+        trace = self._by_radio[radio_id]
+        index = self._cursor[radio_id]
+        if not trace.ensure_index(index):
+            return None
+        self._cursor[radio_id] = index + 1
+        return trace.replay_buffer[index]
+
+
+def live_feed(
+    config: ScenarioConfig, chunk_us: int = DEFAULT_CHUNK_US
+) -> LiveScenarioFeed:
+    """Open a scenario as a live per-radio record feed (service mode)."""
+    return LiveScenarioFeed(stream_scenario(config, chunk_us))

@@ -272,3 +272,57 @@ class TestFramingHint:
             for r in batch.records
         ]
         assert hinted == scalar == records
+
+
+class TestDecodeAheadLifecycle:
+    """Closing a stream must not leave its decode-ahead thread running."""
+
+    @staticmethod
+    def _alive_readers():
+        import threading
+
+        return [
+            t
+            for t in threading.enumerate()
+            if t.name.startswith("decode-ahead:") and t.is_alive()
+        ]
+
+    def _write(self, tmp_path, n=300):
+        trace = RadioTrace(
+            radio_id=5,
+            channel=6,
+            records=[make_record(radio_id=5, ts=1000 + 50 * i)
+                     for i in range(n)],
+        )
+        return write_trace(trace, tmp_path)
+
+    def test_close_joins_reader_thread(self, tmp_path):
+        from repro.jtrace.io import open_trace_stream
+
+        data_path = self._write(tmp_path)
+        stream = open_trace_stream(data_path, decode_ahead=2, chunk_bytes=256)
+        assert stream.ensure_index(0)  # reader thread is live behind this
+        stream.close()
+        assert self._alive_readers() == []
+        stream.close()  # idempotent
+
+    def test_context_manager_joins_reader_thread(self, tmp_path):
+        from repro.jtrace.io import open_trace_stream
+
+        data_path = self._write(tmp_path)
+        with open_trace_stream(
+            data_path, decode_ahead=2, chunk_bytes=256
+        ) as stream:
+            assert stream.ensure_index(5)
+        assert self._alive_readers() == []
+
+    def test_abandoned_mid_trace_then_closed(self, tmp_path):
+        """A consumer that stops pulling mid-trace (bounded queue full,
+        worker parked in its put loop) still joins promptly on close."""
+        from repro.jtrace.io import open_trace_stream
+
+        data_path = self._write(tmp_path, n=600)
+        stream = open_trace_stream(data_path, decode_ahead=1, chunk_bytes=128)
+        assert stream.ensure_index(0)
+        stream.close()
+        assert self._alive_readers() == []

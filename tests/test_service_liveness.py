@@ -1,0 +1,234 @@
+"""Service-mode liveness: watermarks advance, queues stay bounded.
+
+Parity says a daemon run ends in the right state; liveness says it
+*behaves* like a service along the way:
+
+* the emission watermark is monotone — it never regresses, including
+  across a checkpoint/restore boundary;
+* windowed pass output is published strictly before end-of-stream
+  (a batch pipeline only ever reports at ``finish()``);
+* a consumer that stops draining bounds queue depth at the configured
+  maximum, never O(trace) — producers feel backpressure;
+* a source that stops producing trips a deterministic idle limit
+  (:class:`ServiceStalled`) instead of deadlocking the daemon.
+"""
+
+import pytest
+
+from repro.core.passes import PipelinePass
+from repro.jtrace.records import RecordKind, TraceRecord
+from repro.service import JigsawDaemon, QueueFeed, RadioQueue, ServiceStalled
+from repro.service.queues import feed_pump_from_records
+from repro.service.windows import WindowedSummaryPass
+from repro.sim import ScenarioConfig
+from repro.sim.registry import scenario_config
+from repro.sim.stream import live_feed
+
+pytestmark = pytest.mark.service
+
+WINDOW_US = 100_000
+CHECKPOINT_EVERY = 60
+
+
+def tiny_config():
+    return ScenarioConfig.tiny(seed=13)
+
+
+class WatermarkProbe(PipelinePass):
+    """Records the watermark at every sealing opportunity.
+
+    The observation list is part of the pass state, so it rides inside
+    checkpoints: a restored daemon keeps appending to the prefix the
+    crashed daemon accumulated — exactly the sequence the monotonicity
+    assertion must hold over.
+    """
+
+    name = "watermark_probe"
+
+    def __init__(self):
+        self.observed = []
+
+    def seal_ready(self, watermark_us):
+        self.observed.append(watermark_us)
+        return []
+
+    def finish(self, context):
+        return list(self.observed)
+
+
+def make_record(radio_id, ts):
+    return TraceRecord(
+        radio_id=radio_id,
+        timestamp_us=ts,
+        kind=RecordKind.VALID,
+        channel=6,
+        rate_mbps=11.0,
+        rssi_dbm=-60.0,
+        frame_len=3,
+        fcs=0xABC,
+        snap=b"abc",
+        duration_us=100,
+    )
+
+
+class TestWatermarkMonotonicity:
+    def test_watermark_never_regresses_uninterrupted(self):
+        daemon = JigsawDaemon(
+            live_feed(tiny_config()), passes=[WatermarkProbe()]
+        )
+        svc = daemon.serve()
+        observed = svc.report.passes["watermark_probe"]
+        assert observed, "the probe never saw a sealing opportunity"
+        assert all(
+            a <= b for a, b in zip(observed, observed[1:])
+        ), "watermark regressed mid-run"
+        assert observed[-1] > float("-inf")
+
+    def test_watermark_never_regresses_across_restore(self, tmp_path):
+        checkpoint = tmp_path / "svc.ckpt"
+        d1 = JigsawDaemon(
+            live_feed(tiny_config()),
+            passes=[WatermarkProbe()],
+            checkpoint_path=checkpoint,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        assert d1.serve(stop_after_records=3 * CHECKPOINT_EVERY) is None
+        d2 = JigsawDaemon.restore(
+            checkpoint, live_feed(tiny_config()),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        svc = d2.serve()
+        observed = svc.report.passes["watermark_probe"]
+        # The restored probe continues the checkpointed prefix: one list,
+        # spanning the restore boundary, still monotone.
+        assert len(observed) > 1
+        assert all(
+            a <= b for a, b in zip(observed, observed[1:])
+        ), "watermark regressed across checkpoint/restore"
+
+
+class TestMidStreamPublication:
+    def test_windows_published_before_end_of_stream(self):
+        """Stop the daemon mid-trace: sealed windows must already be
+        out, which is exactly what ``finish()``-only reporting can't
+        do.
+
+        Uses the flash_crowd shape: its dense traffic keeps every
+        sender's exchange turning over, so the exchange emission bound
+        (the daemon watermark) clears whole windows well before
+        end-of-stream.  Sparse shapes can pin the bound on a long-open
+        exchange until the final horizon sweep.
+        """
+        daemon = JigsawDaemon(
+            live_feed(scenario_config("flash_crowd", "tiny", seed=13)),
+            passes=[WindowedSummaryPass(WINDOW_US)],
+        )
+        assert daemon.serve(stop_after_records=3_000) is None  # mid-trace
+        published = daemon.published_windows
+        assert published, "no window published before end of stream"
+        assert all(
+            w.end_us <= daemon.watermark_us for w in published
+        ), "published a window the watermark had not passed"
+
+    def test_published_set_grows_to_final(self):
+        daemon = JigsawDaemon(
+            live_feed(tiny_config()),
+            passes=[WindowedSummaryPass(WINDOW_US)],
+        )
+        svc = daemon.serve()
+        keys = [w.key for w in svc.published]
+        assert len(keys) == len(set(keys)), "ledger published duplicates"
+        # Window ids are gap-free from 0: the sealed sequence is dense.
+        ids = sorted(w.window_id for w in svc.published)
+        assert ids == list(range(len(ids)))
+        total_jframes = sum(
+            w.payload["jframes"] for w in svc.published
+        )
+        assert total_jframes == svc.report.unification.stats.jframes
+
+
+class TestQueueBackpressure:
+    def test_slow_consumer_bounds_depth(self):
+        """Producer keeps pushing, consumer never drains: depth caps at
+        maxlen and the producer observes backpressure."""
+        queue = RadioQueue(radio_id=1, maxlen=32)
+        accepted = rejected = 0
+        for i in range(10_000):
+            if queue.push(make_record(1, 1000 + i)):
+                accepted += 1
+            else:
+                rejected += 1
+        assert queue.depth == 32
+        assert accepted == 32
+        assert rejected == 10_000 - 32
+
+    def test_depth_recovers_after_drain(self):
+        queue = RadioQueue(radio_id=1, maxlen=4)
+        for i in range(4):
+            assert queue.push(make_record(1, i))
+        assert not queue.push(make_record(1, 99))
+        assert queue.pop() is not None
+        assert queue.push(make_record(1, 100))
+        assert queue.depth == 4
+
+    def test_queue_feed_depth_is_maxlen_not_trace_length(self):
+        records = {1: [make_record(1, 1000 + 10 * i) for i in range(5000)]}
+        feed = QueueFeed([1], feed_pump_from_records(records), maxlen=64)
+        # One pull primes the pump; the pump pushes until backpressure.
+        first = feed.next_record(1)
+        assert first is records[1][0]
+        assert feed.queue(1).depth <= 64
+        # Drain everything; the bound holds throughout.
+        count = 1
+        while True:
+            record = feed.next_record(1)
+            if record is None:
+                break
+            assert feed.queue(1).depth <= 64
+            count += 1
+        assert count == 5000
+
+    def test_push_after_close_rejected(self):
+        queue = RadioQueue(radio_id=1, maxlen=4)
+        queue.close()
+        with pytest.raises(ValueError, match="close"):
+            queue.push(make_record(1, 1))
+
+
+class TestStalledSource:
+    def test_stalled_source_trips_idle_limit(self):
+        """A pump that never produces must raise, not deadlock."""
+
+        def dead_pump(feed, radio_id):
+            return None  # no push, no close: a hung uplink
+
+        feed = QueueFeed([1], dead_pump, idle_limit=25)
+        with pytest.raises(ServiceStalled, match="25 pump attempts"):
+            feed.next_record(1)
+
+    def test_slow_but_alive_source_is_not_stalled(self):
+        """Progress on any attempt resets the idle counter."""
+        calls = {"n": 0}
+        records = [make_record(1, 1000 + i) for i in range(10)]
+
+        def trickle_pump(feed, radio_id):
+            calls["n"] += 1
+            if calls["n"] % 7 == 0:  # mostly idle, occasionally delivers
+                if records:
+                    feed.push(1, records.pop(0))
+                else:
+                    feed.close_radio(1)
+
+        feed = QueueFeed([1], trickle_pump, idle_limit=10)
+        out = []
+        while True:
+            record = feed.next_record(1)
+            if record is None:
+                break
+            out.append(record)
+        assert len(out) == 10
+
+    def test_closed_stream_yields_none_forever(self):
+        feed = QueueFeed([1], lambda f, r: f.close_radio(1), idle_limit=5)
+        assert feed.next_record(1) is None
+        assert feed.next_record(1) is None
