@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-strict bench bench-smoke
+.PHONY: test lint lint-strict bench bench-smoke bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,5 +28,16 @@ bench-smoke:
 	cp BENCH_merge.json BENCH_baseline.json
 	$(PYTHON) -m pytest -q benchmarks/bench_perf_unifier.py
 	$(PYTHON) -m pytest -q benchmarks/bench_scenarios.py
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_baseline.json --current BENCH_merge.json
+
+# The full-scale lane CI's pool-bench job runs on a multi-core runner:
+# full-scale scenario families plus the 512/1024/1536-radio campus
+# sweep.  Expensive — the 12-building campus alone simulates for a few
+# minutes — so it is not part of bench-smoke.
+bench-full:
+	cp BENCH_merge.json BENCH_baseline.json
+	$(PYTHON) -m pytest -q benchmarks/bench_perf_unifier.py --scale full
+	$(PYTHON) -m pytest -q benchmarks/bench_scenarios.py --scale full
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline BENCH_baseline.json --current BENCH_merge.json

@@ -7,11 +7,17 @@ each family must actually produce the signal it exists to stress
 a flash-crowd wave).  Per-family merge throughput is persisted to
 ``BENCH_merge.json``'s ``scenario_sweep`` section so the validated
 workload surface is tracked across PRs.
+
+The sweep runs at small scale by default; ``--scale full`` (CI's
+multi-core ``pool-bench`` lane, or ``make bench-full``) runs every
+family at its full registered scale.
 """
 
 import itertools
 import json
 from pathlib import Path
+
+import pytest
 
 from repro.dot11.frame import FrameType
 from repro.experiments.scenarios import (
@@ -27,7 +33,11 @@ PAPER_EVENTS_PER_SECOND = 2_700_000_000 / 86_400
 #: Where the cross-PR perf trajectory is recorded.
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_merge.json"
 
-SWEEP_SCALE = "small"
+
+@pytest.fixture(scope="module")
+def sweep_scale(bench_scale):
+    """The registry scale every sweep test runs at (``--scale``)."""
+    return bench_scale
 
 
 def _update_results(**sections) -> None:
@@ -39,10 +49,10 @@ def _update_results(**sections) -> None:
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
-def test_family_sweep_merge_throughput(capsys):
+def test_family_sweep_merge_throughput(sweep_scale, capsys):
     """Every family's trace merges faster than the paper's event rate;
     the per-family numbers land in BENCH_merge.json."""
-    points = run_family_sweep(scale=SWEEP_SCALE)
+    points = run_family_sweep(scale=sweep_scale)
     with capsys.disabled():
         print("\n=== Scenario-family merge sweep ===")
         for point in points:
@@ -61,12 +71,12 @@ def test_family_sweep_merge_throughput(capsys):
         ), point.family
 
 
-def test_roaming_family_produces_handoffs(capsys):
+def test_roaming_family_produces_handoffs(sweep_scale, capsys):
     """Roamers actually hand off between APs, and the merge keeps group
     dispersion samples flowing under moving vantage points (Fig 4/6)."""
     from repro.core.analysis import dispersion_cdf
 
-    run = get_family_run("roaming", scale=SWEEP_SCALE)
+    run = get_family_run("roaming", scale=sweep_scale)
     assert run.artifacts.roam_events, "no AP handoffs in roaming family"
     distinct_roamers = {e.station_index for e in run.artifacts.roam_events}
     assert len(distinct_roamers) >= 2
@@ -80,10 +90,10 @@ def test_roaming_family_produces_handoffs(capsys):
         )
 
 
-def test_hidden_terminal_family_collides(capsys):
+def test_hidden_terminal_family_collides(sweep_scale, capsys):
     """The hotspot produces concurrent co-channel transmissions from
     mutually-hidden senders, and protection engages (Fig 9/10)."""
-    run = get_family_run("hidden_terminal", scale=SWEEP_SCALE)
+    run = get_family_run("hidden_terminal", scale=sweep_scale)
     history = run.artifacts.ground_truth
     # Concurrent same-channel data transmissions from distinct senders —
     # the collisions carrier sense failed to prevent.
@@ -109,11 +119,11 @@ def test_hidden_terminal_family_collides(capsys):
         )
 
 
-def test_scanning_family_densifies_references(capsys):
+def test_scanning_family_densifies_references(sweep_scale, capsys):
     """Sweeping clients land broadcast probes on every monitored channel —
     extra cross-radio reference anchors for bootstrap (Section 4.1)."""
-    run = get_family_run("scanning", scale=SWEEP_SCALE)
-    baseline = get_family_run("building", scale=SWEEP_SCALE)
+    run = get_family_run("scanning", scale=sweep_scale)
+    baseline = get_family_run("building", scale=sweep_scale)
     by_channel = {}
     for tx in run.artifacts.ground_truth:
         if tx.frame.ftype is FrameType.PROBE_REQUEST:
@@ -136,10 +146,10 @@ def test_scanning_family_densifies_references(capsys):
         )
 
 
-def test_flash_crowd_family_shows_wave(capsys):
+def test_flash_crowd_family_shows_wave(sweep_scale, capsys):
     """The arrival wave concentrates flow starts (and with them the
     activity timeline and TCP-loss burst) around the wave center."""
-    run = get_family_run("flash_crowd", scale=SWEEP_SCALE)
+    run = get_family_run("flash_crowd", scale=sweep_scale)
     config = run.config
     flows = run.artifacts.flows
     assert flows

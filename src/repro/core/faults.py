@@ -91,17 +91,30 @@ class RetryPolicy:
 
 @dataclass
 class ShardHealth:
-    """What one coordinator's pool recovery observed on one run."""
+    """What one coordinator's pool recovery observed on one run.
+
+    ``pool_workers`` is the worker count the coordinator actually sized
+    its pool to (0 = the stage ran serially in-process) — the audit trail
+    for "did this run really use the pool, and how wide".  Unlike the
+    fault tallies it is a *size*, not a count of events, so ``merge``
+    keeps the maximum instead of summing.
+    """
 
     shards: int = 0
     pool_retries: int = 0
     worker_crashes: int = 0
     shard_timeouts: int = 0
     shards_degraded_serial: int = 0
+    pool_workers: int = 0
 
     def merge(self, other: "ShardHealth") -> None:
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            if f.name == "pool_workers":
+                self.pool_workers = max(self.pool_workers, other.pool_workers)
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
 
     @property
     def degraded(self) -> bool:
@@ -114,7 +127,8 @@ class ShardHealth:
 
     def summary(self) -> str:
         return (
-            f"shards={self.shards} retries={self.pool_retries} "
+            f"shards={self.shards} workers={self.pool_workers} "
+            f"retries={self.pool_retries} "
             f"crashes={self.worker_crashes} timeouts={self.shard_timeouts} "
             f"degraded_serial={self.shards_degraded_serial}"
         )
@@ -174,6 +188,43 @@ class HealthReport:
         )
 
 
+class PoolHandle:
+    """A caller-owned, reusable process pool for repeated shard maps.
+
+    :func:`map_shards_with_recovery` normally builds and tears down a
+    pool per call.  Coordinators that map shards repeatedly — the
+    bootstrap auto-widen loop re-collects every round — pass a handle so
+    the worker processes stay **resident** across calls and each round
+    ships only its incremental payload instead of paying a pool spawn.
+    A pool fault invalidates the handle (the broken pool is abandoned);
+    the next acquisition transparently builds a fresh pool.  Callers own
+    the lifetime: ``close()`` when the loop is done.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+
+    def acquire(self, max_workers: int) -> ProcessPoolExecutor:
+        """The resident pool, (re)built at ``max_workers`` if needed."""
+        if self._pool is None or self._workers != max_workers:
+            self.close()
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+            self._workers = max_workers
+        return self._pool
+
+    def discard_broken(self) -> None:
+        """Forget the pool after a fault (caller already shut it down)."""
+        self._pool = None
+        self._workers = 0
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._workers = 0
+
+
 def map_shards_with_recovery(
     fn: Callable[..., ShardResultT],
     args_list: Sequence[Tuple[Any, ...]],
@@ -183,6 +234,7 @@ def map_shards_with_recovery(
     health: Optional[ShardHealth] = None,
     label: str = "shard",
     sleep: Callable[[float], None] = time.sleep,
+    handle: Optional[PoolHandle] = None,
 ) -> List[ShardResultT]:
     """Run ``fn(*args)`` per shard in a process pool, surviving worker faults.
 
@@ -197,6 +249,12 @@ def map_shards_with_recovery(
     propagate immediately.
 
     ``sleep`` is injectable so tests exercise backoff without waiting.
+
+    ``handle`` (optional) lends a caller-owned :class:`PoolHandle` whose
+    resident pool serves the first attempt, left alive on success so the
+    caller's next map reuses the warm workers.  Fault recovery is
+    unchanged: a broken resident pool is abandoned (and discarded from
+    the handle) and retry rounds run in fresh throwaway pools.
     """
     if policy is None:
         policy = RetryPolicy()
@@ -234,7 +292,12 @@ def map_shards_with_recovery(
             )
             sleep(backoff)
 
-        pool = ProcessPoolExecutor(max_workers=max_workers)
+        borrowed = handle is not None and retry_round == 0
+        if borrowed:
+            assert handle is not None
+            pool = handle.acquire(max_workers)
+        else:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
         abandoned = False
         try:
             futures = {i: pool.submit(fn, *args_list[i]) for i in pending}
@@ -286,8 +349,15 @@ def map_shards_with_recovery(
         finally:
             # Never ``wait=True`` here: a hung worker would hang the
             # coordinator too, which is exactly what the deadline exists
-            # to prevent.
-            pool.shutdown(wait=False, cancel_futures=True)
+            # to prevent.  A healthy borrowed pool stays alive for the
+            # caller's next round; a faulted one is torn down and
+            # discarded from its handle.
+            if not borrowed:
+                pool.shutdown(wait=False, cancel_futures=True)
+            elif abandoned:
+                assert handle is not None
+                pool.shutdown(wait=False, cancel_futures=True)
+                handle.discard_broken()
 
     # Every index left the pending list only by being filled in, so the
     # Optional placeholder type is provably all-ShardResultT here.

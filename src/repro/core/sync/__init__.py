@@ -8,6 +8,7 @@ from .bootstrap import (
     QUARANTINE_UNSTABLE_CLOCK,
     SyncPartitionError,
     bootstrap_synchronization,
+    resolve_island_mode,
     union_shard_payloads,
 )
 from .refs import ReferenceKey, content_key, parse_record_frame, reference_key
@@ -23,6 +24,7 @@ __all__ = [
     "ShardedBootstrap",
     "SyncPartitionError",
     "bootstrap_synchronization",
+    "resolve_island_mode",
     "resolve_pool_workers",
     "union_shard_payloads",
     "ReferenceKey",

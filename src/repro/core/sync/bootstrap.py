@@ -358,6 +358,7 @@ def bootstrap_synchronization(
     max_window_us: int = 16_000_000,
     strict: bool = False,
     stability_tolerance_us: float = DEFAULT_STABILITY_TOLERANCE_US,
+    island_mode: Optional[str] = None,
 ) -> BootstrapResult:
     """Compute bootstrap offsets ``T_i`` for every radio (single-threaded).
 
@@ -370,13 +371,27 @@ def bootstrap_synchronization(
     :class:`SyncPartitionError` (the Section 6 pod-reduction failure)
     instead of returning a partial result.
 
-    Non-strict partitions resolve in degraded mode: the largest
-    reference-graph island becomes the primary timeline and every other
-    radio is quarantined with a reason (``BootstrapResult.quarantined``);
-    radios whose clock fit is internally inconsistent beyond
-    ``stability_tolerance_us`` are evicted as ``unstable-clock-fit``.
-    Radios that were unreachable in an early auto-widen round but gained
-    references when the window grew are reported in ``rejoined``.
+    Non-strict partitions resolve per ``island_mode``.  ``"quarantine"``
+    is degraded mode: the largest reference-graph island becomes the
+    primary timeline and every other radio is quarantined with a reason
+    (``BootstrapResult.quarantined``).  ``"local"`` expects one island
+    per *locality* (``building_id`` stamp): each locality's primary
+    island synchronizes on its own local timeline (its root at
+    ``T = 0``), while radios fragmented off their locality's primary
+    island remain unreachable — auto-widen still heals intra-building
+    partitions, which are failures in any mode.  This is campus
+    semantics: RF-isolated buildings can never share references, and
+    cross-island timestamp alignment is physically meaningless (no frame
+    spans islands, so the merge never compares timestamps across
+    them).  The default (``None``)
+    picks ``"local"`` exactly when every trace carries a ``building_id``
+    locality stamp — the stamp is the caller's declaration that the
+    fleet spans isolated localities — and ``"quarantine"`` otherwise.
+    In both modes radios whose clock fit is internally inconsistent
+    beyond ``stability_tolerance_us`` are evicted as
+    ``unstable-clock-fit``.  Radios that were unreachable in an early
+    auto-widen round but gained references when the window grew are
+    reported in ``rejoined``.
 
     This is the reference implementation the channel-sharded coordinator
     (:class:`~repro.core.sync.sharded.ShardedBootstrap`) is held
@@ -384,6 +399,9 @@ def bootstrap_synchronization(
     a single pass over each trace even when the window widens.
     """
     radios = [trace.radio_id for trace in traces]
+    if island_mode is None:
+        island_mode = resolve_island_mode(traces)
+    locality_of = resolve_locality_map(traces) if island_mode == "local" else None
     current_window = window_us
     widen_rounds = 0
     ever_unreachable: Set[int] = set()
@@ -392,7 +410,8 @@ def bootstrap_synchronization(
         shared = _shared_sets(sets)
         family = _select_covering_family(shared, radios, order)
         offsets, unreachable, quarantined, islands = _resolve_offsets(
-            radios, family, clock_groups, stability_tolerance_us
+            radios, family, clock_groups, stability_tolerance_us,
+            island_mode=island_mode, locality_of=locality_of,
         )
         if not unreachable or not auto_widen or current_window >= max_window_us:
             if unreachable and strict:
@@ -415,6 +434,36 @@ def bootstrap_synchronization(
         ever_unreachable.update(unreachable)
         widen_rounds += 1
         current_window = min(current_window * 2, max_window_us)
+
+
+def resolve_island_mode(traces: Sequence[RadioTrace]) -> str:
+    """The default island policy for a fleet: campus inputs sync locally.
+
+    ``"local"`` when every trace carries a ``building_id`` locality stamp
+    (the campus composition's declaration that the fleet spans
+    RF-isolated buildings, each its own expected reference island),
+    ``"quarantine"`` otherwise (one building — a partition is a failure,
+    degraded mode keeps only the largest island's timeline).  Both
+    bootstrap implementations share this rule so they stay bit-identical
+    on the same input.
+    """
+    if traces and all(
+        getattr(trace, "building_id", None) is not None for trace in traces
+    ):
+        return "local"
+    return "quarantine"
+
+
+def resolve_locality_map(
+    traces: Sequence[RadioTrace],
+) -> Optional[Dict[int, int]]:
+    """radio id -> locality stamp, or ``None`` when any stamp is missing."""
+    stamps = {
+        trace.radio_id: getattr(trace, "building_id", None) for trace in traces
+    }
+    if not stamps or any(value is None for value in stamps.values()):
+        return None
+    return stamps  # type: ignore[return-value]
 
 
 def _build_adjacency(
@@ -527,23 +576,54 @@ def _resolve_offsets(
     family: Sequence[Dict[int, int]],
     clock_groups: Iterable[Sequence[int]],
     stability_tolerance_us: float = DEFAULT_STABILITY_TOLERANCE_US,
+    island_mode: str = "quarantine",
+    locality_of: Optional[Dict[int, int]] = None,
 ) -> Tuple[Dict[int, float], List[int], Dict[int, str], List[List[int]]]:
-    """Degraded-mode offset resolution: per-island, with quarantine.
+    """Offset resolution over the reference-graph islands.
 
-    Instead of hard-failing on a partition, synchronize the *largest*
-    island of the reference graph (ties go to the earliest-discovered
-    island, which for a connected graph — or the historical tests' equal
-    splits — reproduces the old BFS-from-``radios[0]`` result exactly)
-    and quarantine everyone else with a reason.  Radios whose clock fit
-    is unstable (see :func:`_unstable_radios`) are evicted and the
-    resolution re-run once without them, so one rebooting radio cannot
-    drag its island's timeline around.
+    ``island_mode="quarantine"`` (degraded mode): instead of hard-failing
+    on a partition, synchronize the *largest* island of the reference
+    graph (ties go to the earliest-discovered island, which for a
+    connected graph — or the historical tests' equal splits — reproduces
+    the old BFS-from-``radios[0]`` result exactly) and quarantine
+    everyone else with a reason.  ``island_mode="local"`` (campus mode):
+    one timeline per declared *locality* — each locality's primary
+    island (the one holding the plurality of its radios; ties to the
+    earliest discovered) synchronizes rooted at its earliest-discovered
+    member, while radios fragmented off their locality's primary island
+    stay unreachable (so auto-widen keeps working on intra-locality
+    partitions, which are still failures) and are quarantined with a
+    reason if the window cannot heal them.  Without a ``locality_of``
+    map, local mode treats every multi-radio island as its own locality.
+    In both modes radios whose clock fit is unstable (see
+    :func:`_unstable_radios`) are evicted and the resolution re-run once
+    without them, so one rebooting radio cannot drag its island's
+    timeline around.
 
     Returns ``(offsets, unreachable, quarantined, islands)``.
     """
+    if island_mode not in ("quarantine", "local"):
+        raise ValueError(f"unknown island_mode {island_mode!r}")
     if not radios:
         return {}, [], {}, []
     clock_groups = [list(g) for g in clock_groups]
+
+    def local_roots(islands: List[List[int]]) -> List[int]:
+        """Indexes of the islands local mode synchronizes."""
+        if locality_of is None:
+            return [i for i, members in enumerate(islands) if len(members) > 1]
+        # Primary island per locality: plurality of the locality's
+        # radios, ties to the earliest-discovered island.
+        votes: Dict[int, Dict[int, int]] = {}
+        for index, members in enumerate(islands):
+            for radio in members:
+                tally = votes.setdefault(locality_of[radio], {})
+                tally[index] = tally.get(index, 0) + 1
+        primaries = {
+            max(tally, key=lambda i: (tally[i], -i))
+            for tally in votes.values()
+        }
+        return sorted(primaries)
 
     def resolve(
         active: Sequence[int],
@@ -552,10 +632,15 @@ def _resolve_offsets(
     ) -> Tuple[Dict[int, float], List[List[int]], Dict[int, List[Tuple[int, float]]]]:
         adjacency = _build_adjacency(active, active_family, active_clock_groups)
         islands = _island_partition(active, adjacency)
-        primary = max(
-            range(len(islands)), key=lambda i: (len(islands[i]), -i)
-        )
-        offsets = _offsets_from(islands[primary][0], adjacency)
+        offsets: Dict[int, float] = {}
+        if island_mode == "local":
+            for index in local_roots(islands):
+                offsets.update(_offsets_from(islands[index][0], adjacency))
+        else:
+            primary = max(
+                range(len(islands)), key=lambda i: (len(islands[i]), -i)
+            )
+            offsets = _offsets_from(islands[primary][0], adjacency)
         return offsets, islands, adjacency
 
     offsets, islands, adjacency = resolve(radios, family, clock_groups)

@@ -109,6 +109,12 @@ class ShardedUnifier:
         self.retry_policy = retry_policy
         #: Pool-fault ledger for the most recent unification call.
         self.health = ShardHealth()
+        #: The execution mode the most recent call actually used —
+        #: ``"sharded-serial"`` or ``"sharded-pool<n>"``.  Benchmarks
+        #: record this instead of guessing from ``max_workers`` (an
+        #: explicit pool request can still resolve serial on a 1-core
+        #: box or a single-shard input).
+        self.last_engine = "sharded-serial"
 
     # --- internals ---------------------------------------------------------
 
@@ -155,6 +161,7 @@ class ShardedUnifier:
         (the workers run to completion) and streams the merged result.
         """
         self.health = ShardHealth()
+        self.last_engine = "sharded-serial"
         if self._pool_budget() <= 1:
             # Serial mode is exactly the Unifier's own streaming path
             # (which partitions internally — no duplicate shard scan).
@@ -163,6 +170,8 @@ class ShardedUnifier:
         workers = self._worker_count(len(shards))
         if workers <= 1:  # a single shard: nothing to parallelize
             return self.unifier.stream_unify(traces, bootstrap)
+        self.last_engine = f"sharded-pool{workers}"
+        self.health.pool_workers = workers
         results = self._run_pool(shards, bootstrap, workers)
         merged = merge_shard_streams(
             [_drain_shard(jframes) for jframes, _, _ in results]

@@ -47,7 +47,16 @@ import heapq
 import itertools
 from collections import defaultdict, deque
 from dataclasses import dataclass, fields
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from ...dot11.address import MacAddress
 from ...dot11.serialize import transmitter_from_corrupt_bytes
@@ -147,17 +156,55 @@ class _Group:
         self.radios.add(instance.radio_id)
 
 
+def trace_locality(trace: RadioTrace) -> Optional[int]:
+    """The trace's locality key for hierarchical sharding.
+
+    Campus-scale captures stamp each trace with the building its radio is
+    mounted in (``building_id`` — written by the simulator's campus
+    composition and by the trace-file metadata sidecar).  Radios in
+    different buildings are RF-isolated: no transmission is audible in
+    two buildings, so their records can never legitimately share a
+    jframe, and the merge may shard by (building, channel) instead of by
+    channel alone.  Legacy traces carry no stamp and return ``None``.
+    """
+    return getattr(trace, "building_id", None)
+
+
 def partition_traces(
     traces: Sequence[RadioTrace],
+    locality: Callable[[RadioTrace], Optional[int]] = trace_locality,
 ) -> List[List[RadioTrace]]:
-    """Partition traces into independent channel shards.
+    """Partition traces into independent merge shards.
 
     Two traces land in the same shard iff they share (transitively) any
-    channel among their records — the exact condition under which their
-    records could interact during unification.  Shards are ordered by
-    their smallest channel so every execution mode enumerates them
-    identically.
+    channel among their records *within the same locality* — the exact
+    condition under which their records could interact during
+    unification.  Locality comes from ``locality(trace)`` (the
+    ``building_id`` metadata stamp by default); if **any** trace lacks a
+    locality key the whole input falls back to channel-only sharding, so
+    legacy inputs — and mixed fleets where the stamp cannot be trusted —
+    behave exactly as before.  Shards are ordered by (locality, smallest
+    channel), one deterministic global order every execution mode —
+    serial, pool, merge tree, live daemon — enumerates identically; with
+    a single locality this reduces to the historical smallest-channel
+    order.
     """
+    keys = [locality(t) for t in traces]
+    if traces and all(k is not None for k in keys):
+        shards: List[List[RadioTrace]] = []
+        by_key: Dict[int, List[RadioTrace]] = defaultdict(list)
+        for key, trace in zip(keys, traces):
+            by_key[cast(int, key)].append(trace)
+        for key in sorted(by_key):
+            shards.extend(_partition_by_channel(by_key[key]))
+        return shards
+    return _partition_by_channel(traces)
+
+
+def _partition_by_channel(
+    traces: Sequence[RadioTrace],
+) -> List[List[RadioTrace]]:
+    """Channel-component shards (ordered by smallest channel)."""
     # Union-find over channels.
     parent: Dict[int, int] = {}
 

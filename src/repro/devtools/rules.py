@@ -432,13 +432,15 @@ class PoolCallableRule(Rule):
     ``map_shards_with_recovery``) fails to pickle — but only at runtime,
     on a multi-core host, possibly hours into a run.  The rule rejects
     them at lint time, along with lambdas hiding inside argument
-    expressions.
+    expressions.  ``MergeTree(leaf_runner=...)`` is a pool-submission
+    site once removed — the runner is what pool mode ships per leaf —
+    so it is held to the same standard.
     """
 
     name = "pool-callable"
     summary = (
-        "pool submit()/map_shards_with_recovery callables are module-level "
-        "and their arguments lambda-free"
+        "pool submit()/map_shards_with_recovery/MergeTree(leaf_runner=) "
+        "callables are module-level and their arguments lambda-free"
     )
 
     @staticmethod
@@ -478,9 +480,10 @@ class PoolCallableRule(Rule):
                 yield node, fn, list(node.args[1:])
                 continue
             target = mod.resolve(func)
-            if target is not None and target.rsplit(".", 1)[-1] == (
-                "map_shards_with_recovery"
-            ):
+            if target is None:
+                continue
+            tail = target.rsplit(".", 1)[-1]
+            if tail == "map_shards_with_recovery":
                 fn = node.args[0] if node.args else None
                 if fn is None:
                     for kw in node.keywords:
@@ -491,6 +494,12 @@ class PoolCallableRule(Rule):
                     kw.value for kw in node.keywords if kw.arg != "fn"
                 )
                 yield node, fn, payload
+            elif tail == "MergeTree":
+                # The leaf runner is the pool work item of hierarchical
+                # merges; a closure here dies only in pool mode, later.
+                for kw in node.keywords:
+                    if kw.arg == "leaf_runner":
+                        yield node, kw.value, []
 
     def check(self, mod: SourceModule) -> Iterator[Finding]:
         for scope, statements in _iter_scopes(mod.tree):

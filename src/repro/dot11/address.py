@@ -112,16 +112,22 @@ class MacAllocator:
 
     Scenario construction uses separate allocators per device class so that
     address blocks are recognizable when debugging traces (APs live in one
-    block, clients in another).
+    block, clients in another).  ``start`` offsets the low 24 bits so
+    disjoint deployments (campus buildings) draw from disjoint blocks —
+    two buildings must never mint the same BSSID, or their frames become
+    content-identical and the unifier/bootstrap would spuriously link
+    RF-isolated fleets.
     """
 
-    def __init__(self, base_oui: int) -> None:
+    def __init__(self, base_oui: int, start: int = 1) -> None:
         if not 0 <= base_oui <= 0xFFFFFF:
             raise ValueError("OUI must fit in 24 bits")
+        if not 1 <= start <= 0xFFFFFF:
+            raise ValueError("allocator start must fit in 24 bits")
         # Force locally-administered, individual (non-group) addressing.
         oui = (base_oui | 0x020000) & ~0x010000
         self._base = oui << 24
-        self._next = 1
+        self._next = start
 
     def allocate(self) -> MacAddress:
         if self._next > 0xFFFFFF:

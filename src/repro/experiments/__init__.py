@@ -3,7 +3,9 @@
 from .common import (
     ExperimentRun,
     building_config,
+    campus_config,
     get_building_run,
+    get_campus_run,
     get_small_run,
     small_config,
 )
@@ -12,7 +14,9 @@ from .scenarios import get_family_run, run_family_sweep
 __all__ = [
     "ExperimentRun",
     "building_config",
+    "campus_config",
     "get_building_run",
+    "get_campus_run",
     "get_small_run",
     "small_config",
     "get_family_run",

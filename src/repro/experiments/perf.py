@@ -39,9 +39,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+import os
+
 from ..core.pipeline import JigsawPipeline
-from ..core.sync.bootstrap import bootstrap_synchronization
+from ..core.sync.bootstrap import BootstrapResult, bootstrap_synchronization
 from ..core.sync.sharded import ShardedBootstrap
+from ..core.unify.hierarchy import MergeTree
 from ..core.unify.sharded import ShardedUnifier
 from ..core.unify.unifier import Unifier, partition_traces
 from ..jtrace.io import (
@@ -50,10 +53,14 @@ from ..jtrace.io import (
     read_traces,
     write_traces,
 )
-from .common import ExperimentRun, get_building_run
+from .common import ExperimentRun, get_building_run, get_campus_run
 
 #: Radio-fleet fractions exercised by the scaling sweep.
 DEFAULT_SCALING_FRACTIONS = (0.25, 0.5, 1.0)
+
+#: Campus sizes for the multi-building scaling sweep: 4/8/12 buildings
+#: of 32 pods x 4 radios = 512/1024/1536 monitor radios.
+DEFAULT_CAMPUS_BUILDINGS = (4, 8, 12)
 
 
 @dataclass
@@ -65,6 +72,9 @@ class MergePerformance:
     n_radios: int = 0
     n_shards: int = 0
     engine: str = "sharded-serial"
+    #: Pool size the run actually used (0 = serial), from the
+    #: coordinator's post-run ``health.pool_workers`` audit field.
+    pool_workers: int = 0
 
     @property
     def realtime_factor(self) -> float:
@@ -97,6 +107,7 @@ class MergePerformance:
     def as_dict(self) -> dict:
         return {
             "engine": self.engine,
+            "pool_workers": self.pool_workers,
             "n_radios": self.n_radios,
             "n_shards": self.n_shards,
             "trace_duration_s": self.trace_duration_s,
@@ -109,12 +120,30 @@ class MergePerformance:
 
 
 def _measure(
-    traces: Sequence, duration_us: int, clock_groups, max_workers: Optional[int]
+    traces: Sequence,
+    duration_us: int,
+    clock_groups,
+    max_workers: Optional[int],
+    unifier=None,
+    bootstrap: Optional[BootstrapResult] = None,
 ) -> MergePerformance:
-    bootstrap = bootstrap_synchronization(traces, clock_groups=clock_groups)
-    unifier = ShardedUnifier(Unifier(), max_workers=max_workers)
+    """Time one merge; the engine label is read back from the coordinator.
+
+    ``unifier`` may be any coordinator with the ``ShardedUnifier``
+    surface (``unify``, ``last_engine``, ``health``) — the hierarchy
+    benchmarks pass a :class:`MergeTree`.  The recorded ``engine`` and
+    ``pool_workers`` are what the run *actually* resolved to, not what
+    ``max_workers`` requested: an explicit pool request still runs
+    serial on a one-core host or a single-shard input, and the
+    trajectory must say so.
+    """
+    if bootstrap is None:
+        bootstrap = bootstrap_synchronization(
+            traces, clock_groups=clock_groups
+        )
+    if unifier is None:
+        unifier = ShardedUnifier(Unifier(), max_workers=max_workers)
     n_shards = len(partition_traces(traces))
-    workers = unifier._worker_count(n_shards)
     # Isolate the measurement from the caller's heap: the cached building
     # run keeps tens of millions of report objects alive, and letting the
     # collector re-scan them during the timed merge swings the tracked
@@ -136,7 +165,8 @@ def _measure(
         jframes=result.stats.jframes,
         n_radios=len(traces),
         n_shards=n_shards,
-        engine="sharded-serial" if workers <= 1 else f"sharded-pool{workers}",
+        engine=unifier.last_engine,
+        pool_workers=unifier.health.pool_workers,
     )
 
 
@@ -181,6 +211,276 @@ def run_radio_scaling(
             _measure(subset, run.duration_us, groups, max_workers)
         )
     return points
+
+
+def _campus_bootstrap(campus) -> BootstrapResult:
+    return bootstrap_synchronization(
+        campus.traces, clock_groups=campus.clock_groups
+    )
+
+
+def run_campus_radio_scaling(
+    buildings: Sequence[int] = DEFAULT_CAMPUS_BUILDINGS,
+) -> List[MergePerformance]:
+    """Extend the radio-scaling sweep past one building: 500-1500 radios.
+
+    Each point unifies a whole campus (4/8/12 buildings of 128 radios)
+    through the hierarchical :class:`MergeTree`, serially — the same
+    execution mode as the single-building sweep points, so the curve is
+    comparable end to end.  The largest campus is simulated once and
+    sliced (composition makes the slice exact; see
+    :func:`repro.sim.campus.campus_subset`).
+    """
+    get_campus_run(max(buildings))  # simulate once; smaller sizes slice
+    points: List[MergePerformance] = []
+    for n_buildings in sorted(buildings):
+        campus = get_campus_run(n_buildings)
+        points.append(
+            _measure(
+                campus.traces,
+                campus.config.duration_us,
+                campus.clock_groups,
+                max_workers=1,
+                unifier=MergeTree(max_workers=1),
+                bootstrap=_campus_bootstrap(campus),
+            )
+        )
+    return points
+
+
+@dataclass
+class PoolScaling:
+    """Worker-count sweep over one campus merge.
+
+    ``points`` records one merge per requested worker count, with the
+    engine the run *resolved to* (``resolve_pool_workers`` caps by
+    ``os.cpu_count()``, so requesting 8 workers on a one-core host runs
+    ``hierarchy-pool2`` at best — the audit trail must show that, not
+    the request).  ``cpu_count`` makes the numbers interpretable when
+    trajectories from different runners are compared.
+    """
+
+    cpu_count: int
+    n_radios: int
+    records: int
+    requested: List[object]
+    points: List[MergePerformance]
+
+    @property
+    def best(self) -> MergePerformance:
+        return min(self.points, key=lambda p: p.merge_seconds)
+
+    @property
+    def best_records_per_second(self) -> float:
+        return self.best.records_per_second
+
+    def format_table(self) -> str:
+        lines = [
+            f"cpu_count:        {self.cpu_count}",
+            f"campus:           {self.n_radios} radios, "
+            f"{self.records:,} records",
+        ]
+        for requested, point in zip(self.requested, self.points):
+            label = "auto" if requested is None else str(requested)
+            lines.append(
+                f"  workers={label:>4s} -> {point.engine:18s} "
+                f"{point.merge_seconds:6.2f} s  "
+                f"{point.records_per_second:>10,.0f} rec/s"
+            )
+        lines.append(
+            f"best:             {self.best.engine} "
+            f"({self.best_records_per_second:,.0f} rec/s)"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "cpu_count": self.cpu_count,
+            "n_radios": self.n_radios,
+            "records": self.records,
+            "points": [
+                {
+                    "requested_workers": (
+                        "auto" if requested is None else requested
+                    ),
+                    **point.as_dict(),
+                }
+                for requested, point in zip(self.requested, self.points)
+            ],
+            "best_engine": self.best.engine,
+            "best_records_per_second": self.best_records_per_second,
+        }
+
+
+def run_pool_scaling(
+    campus=None,
+    n_buildings: int = 4,
+    worker_counts: Optional[Sequence[Optional[int]]] = None,
+) -> PoolScaling:
+    """Sweep pool sizes over one >=500-radio hierarchical merge.
+
+    The default sweep runs serial, each power-of-two pool up to the
+    machine's core count, and auto (``max_workers=None``).  On a
+    one-core host that collapses to serial + auto — both resolve
+    serial, and the recorded engine labels say so; the multi-core CI
+    lane is where the pool rows carry real parallelism.
+    """
+    if campus is None:
+        campus = get_campus_run(n_buildings)
+    cpus = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = [1]
+        width = 2
+        while width <= cpus:
+            worker_counts.append(width)
+            width *= 2
+        worker_counts.append(None)
+    bootstrap = _campus_bootstrap(campus)
+    points = [
+        _measure(
+            campus.traces,
+            campus.config.duration_us,
+            campus.clock_groups,
+            max_workers=requested,
+            unifier=MergeTree(max_workers=requested),
+            bootstrap=bootstrap,
+        )
+        for requested in worker_counts
+    ]
+    return PoolScaling(
+        cpu_count=cpus,
+        n_radios=campus.n_radios,
+        records=campus.n_records,
+        requested=list(worker_counts),
+        points=points,
+    )
+
+
+@dataclass
+class HierarchyPerformance:
+    """Flat-shard versus hierarchical merge on the same campus traces.
+
+    ``flat`` is the pre-hierarchy baseline: the flat
+    :class:`ShardedUnifier` run serially over the *same stamped traces*
+    — the identical (building, channel) leaf partition, merged as one
+    flat shard list instead of through the merge tree — so the two legs
+    differ only in merge structure and are bit-identical by construction
+    (the parity suite's claim; the bench asserts the record/jframe
+    counts).  ``tree_serial`` and ``tree_auto`` run the
+    :class:`MergeTree`; auto resolves to a process pool on multi-core
+    hosts and serial on one core — the recorded engine label is the
+    resolution, not the request.
+    """
+
+    n_buildings: int
+    plan: dict
+    flat: MergePerformance
+    tree_serial: MergePerformance
+    tree_auto: MergePerformance
+
+    @property
+    def best_tree(self) -> MergePerformance:
+        return min(
+            (self.tree_serial, self.tree_auto),
+            key=lambda p: p.merge_seconds,
+        )
+
+    @property
+    def hierarchy_speedup(self) -> float:
+        """Best hierarchical records/s over the flat-shard baseline."""
+        if self.flat.records_per_second == 0:
+            return float("inf")
+        return (
+            self.best_tree.records_per_second / self.flat.records_per_second
+        )
+
+    @property
+    def realtime_factor(self) -> float:
+        return self.best_tree.realtime_factor
+
+    def format_table(self) -> str:
+        def row(label: str, p: MergePerformance) -> str:
+            return (
+                f"  {label:12s} {p.engine:18s} {p.merge_seconds:6.2f} s  "
+                f"{p.records_per_second:>10,.0f} rec/s  "
+                f"({p.realtime_factor:.2f}x real time)"
+            )
+
+        return "\n".join(
+            [
+                f"campus:        {self.n_buildings} buildings, "
+                f"{self.tree_serial.n_radios} radios, "
+                f"{self.tree_serial.records:,} records",
+                f"plan:          {self.plan['leaves']} leaves over "
+                f"{self.plan['localities']} localities, "
+                f"depth {self.plan['depth']}, fanout {self.plan['fanout']}",
+                row("flat-shard:", self.flat),
+                row("tree serial:", self.tree_serial),
+                row("tree auto:", self.tree_auto),
+                f"speedup:       {self.hierarchy_speedup:.2f}x "
+                "(best tree / flat baseline)",
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n_buildings": self.n_buildings,
+            "n_radios": self.tree_serial.n_radios,
+            "records": self.tree_serial.records,
+            "plan": self.plan,
+            "flat": self.flat.as_dict(),
+            "tree_serial": self.tree_serial.as_dict(),
+            "tree_auto": self.tree_auto.as_dict(),
+            "engine": self.best_tree.engine,
+            "records_per_second": self.best_tree.records_per_second,
+            "hierarchy_speedup": self.hierarchy_speedup,
+            "realtime_factor": self.realtime_factor,
+        }
+
+
+def run_hierarchy_performance(
+    campus=None, n_buildings: int = 4, rounds: int = 2
+) -> HierarchyPerformance:
+    """Flat-shard baseline vs hierarchical merge tree on one campus.
+
+    All legs share one bootstrap and run back to back, ``rounds`` times
+    in alternation with the per-leg best kept, so a transient CPU-quota
+    throttle window cannot invert the recorded ratio (the same
+    discipline the decode/bootstrap sections use).
+    """
+    if campus is None:
+        campus = get_campus_run(n_buildings)
+    bootstrap = _campus_bootstrap(campus)
+    plan = MergeTree().plan(campus.traces).describe()
+
+    legs = {
+        "flat": (lambda: ShardedUnifier(max_workers=1), campus.traces),
+        "tree_serial": (lambda: MergeTree(max_workers=1), campus.traces),
+        "tree_auto": (lambda: MergeTree(), campus.traces),
+    }
+    best: dict = {}
+    for _ in range(max(1, rounds)):
+        for label, (factory, traces) in legs.items():
+            point = _measure(
+                traces,
+                campus.config.duration_us,
+                campus.clock_groups,
+                max_workers=None,
+                unifier=factory(),
+                bootstrap=bootstrap,
+            )
+            if (
+                label not in best
+                or point.merge_seconds < best[label].merge_seconds
+            ):
+                best[label] = point
+    return HierarchyPerformance(
+        n_buildings=len(campus.buildings),
+        plan=plan,
+        flat=best["flat"],
+        tree_serial=best["tree_serial"],
+        tree_auto=best["tree_auto"],
+    )
 
 
 @dataclass
@@ -761,6 +1061,20 @@ def main() -> None:
             f"{point.records_per_second:>10,.0f} rec/s  "
             f"({point.realtime_factor:.2f}x real time)"
         )
+    print()
+    print("=== Campus scaling (hierarchical merge, 500+ radios) ===")
+    for point in run_campus_radio_scaling():
+        print(
+            f"  {point.n_radios:4d} radios: "
+            f"{point.records_per_second:>10,.0f} rec/s  "
+            f"({point.realtime_factor:.2f}x real time)  [{point.engine}]"
+        )
+    print()
+    print("=== Hierarchy: flat shards vs pod x channel merge tree ===")
+    print(run_hierarchy_performance().format_table())
+    print()
+    print("=== Pool scaling (worker-count sweep, one campus merge) ===")
+    print(run_pool_scaling().format_table())
     print()
     print("=== Bootstrap prepass: two-read vs single-read sharded ===")
     print(run_bootstrap_performance().format_table())

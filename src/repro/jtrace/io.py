@@ -155,6 +155,10 @@ class RadioTrace:
     radio_id: int
     channel: int
     records: List[TraceRecord] = field(default_factory=list)
+    #: Locality stamp for hierarchical sharding: the building (or pod
+    #: group) this radio was deployed in.  ``None`` means "unknown" —
+    #: legacy traces without the stamp partition by channel only.
+    building_id: Optional[int] = None
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -187,7 +191,9 @@ class RadioTrace:
         if all(a.timestamp_us <= b.timestamp_us for a, b in pairwise(records)):
             return self
         ordered = sorted(records, key=lambda r: r.timestamp_us)
-        return RadioTrace(self.radio_id, self.channel, ordered)
+        return RadioTrace(
+            self.radio_id, self.channel, ordered, building_id=self.building_id
+        )
 
 
 class StreamingRadioTrace:
@@ -233,6 +239,7 @@ class StreamingRadioTrace:
         *,
         batch_source: Optional[Iterable[RecordBatch]] = None,
         channel_set: Optional[FrozenSet[int]] = None,
+        building_id: Optional[int] = None,
     ) -> None:
         if (source is None) == (batch_source is None):
             raise ValueError(
@@ -241,6 +248,8 @@ class StreamingRadioTrace:
             )
         self.radio_id = radio_id
         self.channel = channel
+        #: Locality stamp from the metadata sidecar (None = unknown).
+        self.building_id = building_id
         #: Channels the writer's index sidecar declared for this trace
         #: (None when unknown).  Lets channel partitioning run off the
         #: metadata instead of forcing a full decode.
@@ -627,6 +636,7 @@ def open_trace_stream(
         decode_health=decode_health,
         batch_source=batch_source,
         channel_set=channel_set,
+        building_id=meta.get("building_id"),
     )
 
 
@@ -664,6 +674,10 @@ def write_trace(trace: RadioTrace, directory: Path) -> Path:
     meta = {
         "radio_id": trace.radio_id,
         "channel": trace.channel,
+        # Locality stamp (absent/None on single-building captures): lets
+        # the hierarchical shard planner group file-backed traces by
+        # building from the sidecar alone.
+        "building_id": trace.building_id,
         "records": len(trace.records),
         "first_timestamp_us": trace.first_timestamp_us,
         "last_timestamp_us": trace.last_timestamp_us,
@@ -1046,7 +1060,12 @@ def read_trace(
         )
     if health is not None:
         health.merge(trace_health)
-    trace = RadioTrace(meta["radio_id"], meta["channel"], records)
+    trace = RadioTrace(
+        meta["radio_id"],
+        meta["channel"],
+        records,
+        building_id=meta.get("building_id"),
+    )
     trace.decode_health = trace_health
     return trace
 

@@ -45,6 +45,8 @@ __all__ = [
     "ScenarioWorld",
     "stream_scenario",
     "StreamedScenario",
+    "CampusArtifacts",
+    "run_campus",
     "ClientBehaviorConfig",
     "ClockConfig",
     "FaultConfig",
@@ -81,6 +83,9 @@ _LAZY = {
     # The streaming feed sits on top of the runner; same cycle, same fix.
     "stream_scenario": "stream",
     "StreamedScenario": "stream",
+    # Campus composition runs the runner per building; same cycle, same fix.
+    "CampusArtifacts": "campus",
+    "run_campus": "campus",
 }
 
 

@@ -151,7 +151,11 @@ def inject_record_faults(
             plan.clock_jumps[radio] = (cut, fc.clock_jump_us)
             touched = True
         out.append(
-            RadioTrace(radio, trace.channel, records) if touched else trace
+            RadioTrace(
+                radio, trace.channel, records, building_id=trace.building_id
+            )
+            if touched
+            else trace
         )
     return out, plan
 

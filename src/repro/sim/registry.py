@@ -23,7 +23,11 @@ Registered families (see ``docs/scenarios.md`` for the full map):
                      sets (Section 4.1) and exercises off-channel loss;
 ``flash_crowd``      an arrival wave of clients and flows mid-run —
                      stresses the activity timelines (Fig 8) and TCP-loss
-                     attribution under congestion (Fig 11, Section 7.4).
+                     attribution under congestion (Fig 11, Section 7.4);
+``campus``           several RF-isolated buildings composed into one
+                     trace set (``repro.sim.campus``) — stresses
+                     hierarchical sharding and the merge's radio-count
+                     scaling at 500+ radios.
 
 Cache compatibility: any change to the component schema or to a family's
 meaning must bump :data:`SCENARIO_SCHEMA_VERSION`; the experiment
@@ -336,6 +340,58 @@ REGISTRY.register(
                 flash_width=0.05,
                 flash_intensity=6.0,
                 start_window_us=800_000,
+            ),
+        },
+    )
+)
+
+REGISTRY.register(
+    ScenarioFamily(
+        name="campus",
+        description=(
+            "Several RF-isolated buildings composed into one trace set "
+            "(repro.sim.campus.run_campus): disjoint radio-id ranges, "
+            "building_id stamps on every trace, one synchronization "
+            "island per building (the bootstrap covering family elects "
+            "a reference radio in each).  The full scale is the "
+            "hierarchical-sharding "
+            "benchmark shape — 4 buildings x 32 pods x 4 radios = 512 "
+            "monitor radios; override n_buildings for 1024/1536."
+        ),
+        paper_focus=(
+            "Section 4's scaling claim taken past one building: merge "
+            "throughput and shard planning at 500+ radios"
+        ),
+        expectations=(
+            "partition_traces yields one (building, channel) leaf per "
+            "pair; MergeTree output is bit-identical to ShardedUnifier; "
+            "merge stays faster than real time at 512 radios."
+        ),
+        builders={
+            # Per-building shapes stay deliberately light: campus runs
+            # n_buildings full simulations, and the benchmark's subject
+            # is the merge, not the air.
+            "tiny": lambda seed: ScenarioConfig.tiny(
+                seed=seed, n_buildings=2
+            ),
+            "small": lambda seed: ScenarioConfig.small(
+                seed=seed, n_buildings=2
+            ),
+            "full": lambda seed: ScenarioConfig.building(
+                seed=seed,
+                n_buildings=4,
+                duration_us=4_000_000,
+                aps_per_floor=8,
+                n_pods=32,
+                # Light per-building traffic: the merge must stay faster
+                # than real time at 512 radios on one core, and fewer
+                # clients must not thin the broadcast reference density
+                # below what stable clock fits need (12 clients over 32
+                # APs holds zero quarantined radios; 10 does too but
+                # nearly doubles the record rate through retry churn).
+                n_clients=12,
+                diurnal=False,
+                uncovered_wing=False,
             ),
         },
     )

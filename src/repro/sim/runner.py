@@ -209,7 +209,12 @@ def build_scenario(config: ScenarioConfig) -> ScenarioWorld:
 
     # --- production network -------------------------------------------------
     exclude_wings = [(0, 0)] if config.uncovered_wing else []
-    ap_alloc = MacAllocator(AP_OUI)
+    # Campus buildings mint from disjoint 4096-address blocks: identical
+    # addresses across RF-isolated buildings would make frames content-
+    # identical, and content identity is how the unifier and the bootstrap
+    # recognize one transmission (building 0 keeps the standalone block).
+    mac_block = 1 + config.building_index * 0x1000
+    ap_alloc = MacAllocator(AP_OUI, start=mac_block)
     ap_placements = building.place_aps(
         config.aps_per_floor, exclude_wings=exclude_wings
     )
@@ -249,7 +254,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioWorld:
 
     # --- clients -----------------------------------------------------------------
     behavior = config.behavior
-    client_alloc = MacAllocator(CLIENT_OUI)
+    client_alloc = MacAllocator(CLIENT_OUI, start=mac_block)
     if config.fleet.placement == "hotspot":
         station_placements = building.place_clients_hotspot(
             config.n_clients, master_rng

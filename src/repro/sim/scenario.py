@@ -72,6 +72,22 @@ class GeometryConfig:
     aps_per_floor: int = 10
     n_pods: int = 39
 
+    # Campus scale: how many RF-isolated copies of this building the
+    # deployment spans.  ``1`` is the paper's single building; larger
+    # values are consumed by :func:`repro.sim.campus.run_campus`, which
+    # composes that many independent building simulations (disjoint
+    # radio-id ranges, per-building ``building_id`` stamps on every
+    # trace) rather than growing one simulation — buildings never share
+    # air, so composition is exact.
+    n_buildings: int = 1
+
+    # Which campus building this configuration simulates (always 0 for a
+    # standalone building).  Campus composition sets it per sub-config so
+    # each building mints MAC addresses from a disjoint block — building
+    # 0's addresses are unchanged from a standalone run, keeping the
+    # golden traces and the 1-building == ``run_scenario`` identity.
+    building_index: int = 0
+
     # The paper's building has an administrative wing (first floor, left)
     # with clients but no monitors or APs (footnote 2); clients there reach
     # distant APs and drag the Figure 6 client coverage tail down.
@@ -80,6 +96,10 @@ class GeometryConfig:
     def __post_init__(self) -> None:
         if self.n_pods < 1 or self.aps_per_floor < 1 or self.floors < 1:
             raise ValueError("fleet sizes must be positive")
+        if self.n_buildings < 1:
+            raise ValueError("n_buildings must be positive")
+        if self.building_index < 0:
+            raise ValueError("building_index must be non-negative")
 
 
 #: Client placement styles understood by the runner (see
@@ -405,6 +425,10 @@ _STREAM_KEYS = {
     "roam": 7,
     "arrival": 8,
     "faults": 9,
+    # Per-building sub-seed derivation for campus composition
+    # (:mod:`repro.sim.campus`): building b of a campus simulates with
+    # seed ``SeedSequence(seed, spawn_key=(10, b))``.
+    "campus": 10,
 }
 
 
@@ -634,6 +658,14 @@ class ScenarioConfig:
     @property
     def n_pods(self) -> int:
         return self.geometry.n_pods
+
+    @property
+    def n_buildings(self) -> int:
+        return self.geometry.n_buildings
+
+    @property
+    def building_index(self) -> int:
+        return self.geometry.building_index
 
     @property
     def uncovered_wing(self) -> bool:

@@ -87,6 +87,7 @@ class StreamedScenario:
                 radio.radio_id,
                 radio.channel.number,
                 self._source(radio.radio_id),
+                building_id=radio.trace.building_id,
             )
             for radio in self._radios
         ]

@@ -423,4 +423,13 @@ class TestWorkerPolicy:
     def test_serial_when_single_shard(self):
         assert resolve_pool_workers(None, 1) == 1
         assert resolve_pool_workers(16, 1) == 1
-        assert resolve_pool_workers(16, 4) == 4
+
+    def test_explicit_pool_capped_by_cpu_count(self):
+        import os
+
+        # An explicit request is capped by the machine's cores, never
+        # demoted to serial (floor of two) and never wider than shards.
+        cap = max(2, os.cpu_count() or 1)
+        assert resolve_pool_workers(16, 4) == min(16, cap, 4)
+        assert resolve_pool_workers(2, 4) == 2
+        assert resolve_pool_workers(10_000, 3) == min(10_000, cap, 3)

@@ -252,7 +252,12 @@ class TestPoolWorkerValidation:
         assert resolve_pool_workers(1, 4) == 1
 
     def test_never_more_workers_than_shards(self):
-        assert resolve_pool_workers(8, 3) == 3
+        # Capped by the shard count AND the machine's cores (floor of
+        # two: an explicit pool request is never demoted to serial).
+        assert resolve_pool_workers(8, 3) == min(
+            3, max(2, os.cpu_count() or 1)
+        )
+        assert resolve_pool_workers(2, 3) == 2
 
     def test_retry_policy_validation(self):
         with pytest.raises(ValueError):
@@ -397,6 +402,33 @@ class TestDegradedSync:
             [0, 1], [2, 3, 4], [5]
         ]
         assert not result.fully_synchronized
+
+    def test_local_island_mode_synchronizes_every_island(self):
+        # Campus semantics: islands are expected, each multi-radio island
+        # gets its own local timeline; only the reference-less singleton
+        # stays quarantined.
+        result = bootstrap_synchronization(
+            self._partitioned_traces(), auto_widen=False, island_mode="local"
+        )
+        assert set(result.offsets_us) == {0, 1, 2, 3, 4}
+        assert sorted(result.unreachable) == [5]
+        assert result.quarantined == {5: QUARANTINE_NO_REFERENCES}
+        assert sorted(map(sorted, result.islands)) == [
+            [0, 1], [2, 3, 4], [5]
+        ]
+        sharded = ShardedBootstrap(
+            max_workers=0, auto_widen=False, island_mode="local"
+        ).bootstrap(self._partitioned_traces())
+        assert sharded.offsets_us == result.offsets_us
+        assert sharded.quarantined == result.quarantined
+
+    def test_island_mode_defaults_local_for_stamped_fleets(self):
+        traces = self._partitioned_traces()
+        for trace in traces:
+            trace.building_id = trace.radio_id // 2
+        result = bootstrap_synchronization(traces, auto_widen=False)
+        assert set(result.offsets_us) == {0, 1, 2, 3, 4}
+        assert result.quarantined == {5: QUARANTINE_NO_REFERENCES}
 
     def test_sharded_bootstrap_matches_reference_when_degraded(self):
         traces = self._partitioned_traces()

@@ -37,6 +37,7 @@ UNRELATED_TWEAKS = {
     "hidden_terminal": dict(probe_burst=2),
     "scanning": dict(web_weight=0.1, scp_weight=0.8),
     "flash_crowd": dict(probe_burst=2),
+    "campus": dict(web_weight=0.1, scp_weight=0.8),
 }
 
 
